@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableWithoutVerification(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-skip-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	wants := []string{
+		"51.2000 ms", "24.0000 ms", "10.0000 ms", "0.0227 ms",
+		"6015", "3263", "883", "5888", "3072", "882",
+		"totals: eq(4)=10161, paper=10160, baseline=9842, hybrid=9969",
+	}
+	for _, w := range wants {
+		if !strings.Contains(text, w) {
+			t.Errorf("output missing %q:\n%s", w, text)
+		}
+	}
+}
+
+func TestFullVerificationShortHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation horizon too long for -short")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-firings", "2205"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "all workloads sustained the 44.1 kHz schedule") {
+		t.Errorf("verification summary missing:\n%s", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Command vrdfcap computes buffer capacities for a throughput-constrained
+// task-graph chain described in a JSON or text document (format sniffed;
+// see internal/graphio for both grammars).
+//
+// Usage:
+//
+//	vrdfcap [flags] graph.json
+//
+// The document must contain a "constraint" entry (see internal/graphio for
+// the format). Example:
+//
+//	vrdfcap -policy equation4 -verify testdata/mp3.json
+//
+// Flags:
+//
+//	-policy name   capacity policy: equation4 (default), baseline, hybrid
+//	-dot           print the task graph in Graphviz DOT instead of analysing
+//	-vrdf-dot      print the VRDF analysis graph in DOT instead of analysing
+//	-verify        additionally verify the sizing by simulation
+//	-firings n     firings of the constrained task to verify (default 1000)
+//	-seed n        seed for the random workload used by -verify
+//	-json          print the sized graph as JSON after the report
+//	-latency       print the analytic sink offset and latency bound
+//	-sweep list    comma-separated periods for a trade-off table
+//	-exact         exhaustive deadlock-freedom certificate (small graphs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vrdfcap"
+	"vrdfcap/internal/capacity"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vrdfcap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vrdfcap", flag.ContinueOnError)
+	policyName := fs.String("policy", "equation4", "capacity policy: equation4, baseline or hybrid")
+	dot := fs.Bool("dot", false, "print the task graph in Graphviz DOT and exit")
+	vrdfDot := fs.Bool("vrdf-dot", false, "print the VRDF analysis graph in DOT and exit")
+	verify := fs.Bool("verify", false, "verify the sizing by simulation")
+	firings := fs.Int64("firings", 1000, "firings of the constrained task to verify")
+	seed := fs.Int64("seed", 1, "seed for the random verification workload")
+	asJSON := fs.Bool("json", false, "print the sized graph as JSON")
+	latency := fs.Bool("latency", false, "print the anchored schedule: analytic sink offset and end-to-end latency bound")
+	sweep := fs.String("sweep", "", "comma-separated periods to sweep for a throughput/buffer trade-off table")
+	exactFlag := fs.Bool("exact", false, "certify the sizing deadlock-free by exhaustive adversarial search (small graphs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one graph file, got %d arguments", fs.NArg())
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, c, err := vrdfcap.DecodeGraph(data)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		return vrdfcap.WriteDOT(out, g)
+	}
+	if *vrdfDot {
+		return vrdfcap.WriteVRDFDOT(out, g)
+	}
+	if c == nil {
+		return fmt.Errorf("document %s has no throughput constraint", fs.Arg(0))
+	}
+	policy, err := capacity.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	sized, res, err := vrdfcap.Size(g, *c, policy)
+	if err != nil {
+		return err
+	}
+	if err := vrdfcap.WriteReport(out, res); err != nil {
+		return err
+	}
+	if *latency {
+		cs, err := vrdfcap.AnchoredSchedule(res)
+		if err != nil {
+			fmt.Fprintf(out, "\nanchored schedule unavailable: %v\n", err)
+		} else {
+			fmt.Fprintf(out, "\nanchored schedule: sink offset %s (%.6g time units), end-to-end latency bound %s (%.6g)\n",
+				cs.SinkOffset, cs.SinkOffset.Float64(), cs.LatencyBound, cs.LatencyBound.Float64())
+		}
+	}
+	if *sweep != "" {
+		periods, err := parsePeriods(*sweep)
+		if err != nil {
+			return err
+		}
+		pts, err := vrdfcap.SweepPeriods(g, c.Task, periods, policy)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "\nperiod sweep (throughput/buffer trade-off):")
+		for _, pt := range pts {
+			if pt.Valid {
+				fmt.Fprintf(out, "  τ=%-12s total capacity %d\n", pt.Period, pt.Total)
+			} else {
+				fmt.Fprintf(out, "  τ=%-12s infeasible\n", pt.Period)
+			}
+		}
+	}
+	if *exactFlag {
+		ok, w, err := vrdfcap.CertifyDeadlockFree(sized, 0)
+		switch {
+		case err != nil:
+			fmt.Fprintf(out, "\nexact certificate unavailable: %v\n", err)
+		case ok:
+			fmt.Fprintln(out, "\nexact certificate: deadlock-free for EVERY quanta sequence (exhaustive search)")
+		default:
+			fmt.Fprintf(out, "\nexact certificate FAILED: adversarial witness %+v\n", w)
+		}
+	}
+	if *verify {
+		if !res.Valid {
+			fmt.Fprintln(out, "\nskipping verification: the analysis already proved the constraint infeasible")
+		} else {
+			v, err := vrdfcap.Verify(sized, *c, vrdfcap.VerifyOptions{
+				Firings:   *firings,
+				Workloads: vrdfcap.UniformWorkloads(sized, *seed),
+				Validate:  true,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if err := vrdfcap.WriteVerification(out, v); err != nil {
+				return err
+			}
+		}
+	}
+	if *asJSON {
+		data, err := vrdfcap.EncodeJSON(sized, c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n%s\n", data)
+	}
+	return nil
+}
+
+// parsePeriods parses a comma-separated list of exact rationals.
+func parsePeriods(s string) ([]vrdfcap.RatNum, error) {
+	var out []vrdfcap.RatNum
+	for _, part := range strings.Split(s, ",") {
+		r, err := vrdfcap.ParseRat(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad period %q: %w", part, err)
+		}
+		if r.Sign() <= 0 {
+			return nil, fmt.Errorf("period %q must be positive", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vrdfcap"
+	"vrdfcap/internal/mp3"
+)
+
+func writeMP3JSON(t *testing.T, withConstraint bool) string {
+	t.Helper()
+	g, err := mp3.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c *vrdfcap.Constraint
+	if withConstraint {
+		cc := mp3.Constraint()
+		c = &cc
+	}
+	data, err := vrdfcap.EncodeJSON(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mp3.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalysis(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"6015", "3263", "883", "vDAC", "total capacity: 10161"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunWithVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification horizon too long for -short")
+	}
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-verify", "-firings", "500", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified") {
+		t.Errorf("verification section missing:\n%s", out.String())
+	}
+}
+
+func TestRunHybridPolicy(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-policy", "hybrid", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total capacity: 9969") {
+		t.Errorf("hybrid totals wrong:\n%s", out.String())
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-dot", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph taskgraph") {
+		t.Errorf("DOT output missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-vrdf-dot", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph vrdf") {
+		t.Errorf("VRDF DOT output missing:\n%s", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"capacity": 6015`) {
+		t.Errorf("sized JSON missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"a", "b"}, &out); err == nil {
+		t.Error("two files accepted")
+	}
+	if err := run([]string{"/nonexistent/x.json"}, &out); err == nil {
+		t.Error("unreadable file accepted")
+	}
+	noCon := writeMP3JSON(t, false)
+	if err := run([]string{noCon}, &out); err == nil {
+		t.Error("document without constraint accepted")
+	}
+	withCon := writeMP3JSON(t, true)
+	if err := run([]string{"-policy", "nope", withCon}, &out); err == nil {
+		t.Error("bad policy accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestRunLatencyAndSweep(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-latency", "-sweep", "1/88200,1/44100,1/22050", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "anchored schedule: sink offset 28597/240000") {
+		t.Errorf("latency section missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "period sweep") || !strings.Contains(text, "infeasible") {
+		t.Errorf("sweep section missing:\n%s", text)
+	}
+	if err := run([]string{"-sweep", "x", path}, &out); err == nil {
+		t.Error("bad sweep list accepted")
+	}
+	if err := run([]string{"-sweep", "-3", path}, &out); err == nil {
+		t.Error("negative sweep period accepted")
+	}
+}
+
+func TestRunTextDocument(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"../../testdata/mp3.txt"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"6015", "3263", "total memory: 22599 bytes"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text-format analysis missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunExactCertificate(t *testing.T) {
+	// A small graph gets the exhaustive certificate; the MP3 graph trips
+	// the state guard with a clear message.
+	small := filepath.Join(t.TempDir(), "small.txt")
+	doc := "task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod 3 cons {2,3}\nconstraint b period 3\n"
+	if err := os.WriteFile(small, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-exact", small}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deadlock-free for EVERY quanta sequence") {
+		t.Errorf("certificate missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-exact", writeMP3JSON(t, true)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "exact certificate unavailable") {
+		t.Errorf("guard message missing:\n%s", out.String())
+	}
+}

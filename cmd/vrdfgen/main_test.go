@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"vrdfcap"
+	"vrdfcap/internal/capacity"
+)
+
+func TestGenerateRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, c, err := vrdfcap.DecodeJSON(out.Bytes())
+	if err != nil {
+		t.Fatalf("generated document does not parse: %v", err)
+	}
+	if c == nil {
+		t.Fatal("generated document lacks a constraint")
+	}
+	res, err := vrdfcap.Analyze(g, *c, vrdfcap.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Errorf("generated chain infeasible: %v", res.Diagnostics)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-seed", "4"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different documents")
+	}
+}
+
+func TestGenerateSourceConstrained(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "3", "-source"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, c, err := vrdfcap.DecodeJSON(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := g.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Task != src.Name {
+		t.Errorf("constraint on %s, want source %s", c.Task, src.Name)
+	}
+}
+
+func TestGenerateInfeasible(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "5", "-infeasible"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, c, err := vrdfcap.DecodeJSON(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := capacity.Compute(g, *c, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid {
+		t.Error("infeasible generation passed the analysis")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"extra"}, &out); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := run([]string{"-min-tasks", "1"}, &out); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

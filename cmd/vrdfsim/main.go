@@ -1,0 +1,223 @@
+// Command vrdfsim simulates a sized task graph from a JSON or text
+// document and reports throughput, deadlocks and buffer occupancy.
+//
+// Usage:
+//
+//	vrdfsim [flags] graph.json
+//
+// Every buffer in the document must have a positive capacity. By default
+// the graph runs self-timed until the stop task completes the requested
+// number of firings; with -periodic the constrained task is instead forced
+// onto the strictly periodic schedule (requires a "constraint" entry and
+// -offset).
+//
+// Flags:
+//
+//	-task name      stop task (default: the constrained task, else the sink)
+//	-firings n      firings of the stop task to run (default 1000)
+//	-workload kind  uniform (default), min, max, alternate
+//	-seed n         seed for the uniform workload
+//	-periodic       force the constrained task strictly periodic
+//	-offset r       periodic start offset, exact rational (default "0")
+//	-gantt          print a start-time Gantt chart of all tasks
+//	-csv-dir path   write per-buffer transfer/occupancy CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vrdfcap"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vrdfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vrdfsim", flag.ContinueOnError)
+	task := fs.String("task", "", "stop task (default: constrained task, else sink)")
+	firings := fs.Int64("firings", 1000, "firings of the stop task")
+	workload := fs.String("workload", "uniform", "workload kind: uniform, min, max, alternate")
+	seed := fs.Int64("seed", 1, "seed for the uniform workload")
+	periodic := fs.Bool("periodic", false, "force the constrained task strictly periodic")
+	offsetStr := fs.String("offset", "0", "periodic start offset (exact rational)")
+	gantt := fs.Bool("gantt", false, "print a Gantt chart of task start times")
+	csvDir := fs.String("csv-dir", "", "write per-buffer transfer and occupancy CSV files to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one graph file, got %d arguments", fs.NArg())
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, c, err := vrdfcap.DecodeGraph(data)
+	if err != nil {
+		return err
+	}
+
+	stop := *task
+	if stop == "" {
+		if c != nil {
+			stop = c.Task
+		} else {
+			sink, err := g.Sink()
+			if err != nil {
+				return err
+			}
+			stop = sink.Name
+		}
+	}
+
+	var w vrdfcap.Workloads
+	switch *workload {
+	case "uniform":
+		w = sim.UniformWorkloads(g, *seed)
+	case "min":
+		w = sim.AdversarialWorkloads(g, sim.AdversaryMin)
+	case "max":
+		w = sim.AdversarialWorkloads(g, sim.AdversaryMax)
+	case "alternate":
+		w = sim.AdversarialWorkloads(g, sim.AdversaryAlternate)
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+
+	cfg, mapping, err := sim.TaskGraphConfig(g, w)
+	if err != nil {
+		return err
+	}
+	cfg.Stop = sim.Stop{Actor: stop, Firings: *firings}
+	cfg.Validate = true
+	if *csvDir != "" {
+		for _, p := range mapping.Pairs {
+			cfg.RecordTransfers = append(cfg.RecordTransfers, p.Data)
+			cfg.RecordOccupancy = append(cfg.RecordOccupancy, p.Data)
+		}
+	}
+	if *gantt {
+		for _, t := range g.Tasks() {
+			cfg.RecordStarts = append(cfg.RecordStarts, t.Name)
+		}
+	} else {
+		cfg.RecordStarts = []string{stop}
+	}
+	if *periodic {
+		if c == nil {
+			return fmt.Errorf("-periodic needs a constraint in the document")
+		}
+		offset, err := ratio.Parse(*offsetStr)
+		if err != nil {
+			return err
+		}
+		cfg.Actors = map[string]sim.ActorConfig{
+			c.Task: {Mode: sim.Periodic, Offset: offset, Period: c.Period},
+		}
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "outcome: %s after %d events, end time %s\n", res.Outcome, res.Events, res.Base.Rat(res.EndTick))
+	if res.Underrun != nil {
+		fmt.Fprintf(out, "underrun: %s\n", res.Underrun)
+	}
+	if res.Deadlock != nil {
+		fmt.Fprintf(out, "deadlock at %s:\n", res.Base.Rat(res.Deadlock.Tick))
+		for _, b := range res.Deadlock.Blocked {
+			fmt.Fprintf(out, "  %s firing %d blocked on %s (%d of %d tokens)\n",
+				b.Actor, b.Firing, b.Edge, b.Have, b.Need)
+		}
+	}
+	names := make([]string, 0, len(res.Fired))
+	for n := range res.Fired {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		util := 0.0
+		if res.EndTick > 0 {
+			util = float64(res.BusyTicks[n]) / float64(res.EndTick)
+		}
+		fmt.Fprintf(out, "task %-12s started %8d finished %8d utilisation %5.1f%%\n",
+			n, res.Fired[n], res.Finished[n], util*100)
+	}
+	if starts := res.Starts[stop]; len(starts) >= 2 {
+		avg, err := sim.AveragePeriodTicks(starts)
+		if err == nil {
+			per := avg.Div(ratio.FromInt(res.Base.TicksPerUnit))
+			fmt.Fprintf(out, "average period of %s: %s (%.6g time units)\n", stop, per, per.Float64())
+		}
+		if j, err := sim.JitterTicks(starts); err == nil {
+			fmt.Fprintf(out, "start jitter of %s: %s (peak-to-peak)\n", stop, res.Base.Rat(j))
+		}
+	}
+	edges := make([]string, 0, len(res.Edges))
+	for n := range res.Edges {
+		edges = append(edges, n)
+	}
+	sort.Strings(edges)
+	for _, n := range edges {
+		s := res.Edges[n]
+		fmt.Fprintf(out, "edge %-24s produced %10d consumed %10d peak %8d min %8d\n",
+			n, s.Produced, s.Consumed, s.Peak, s.Min)
+	}
+	if *gantt {
+		fmt.Fprintln(out)
+		if err := trace.Gantt(out, res.Starts, res.Base, 72); err != nil {
+			return err
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, p := range mapping.Pairs {
+			safe := strings.NewReplacer("/", "_", ":", "_", ">", "").Replace(p.Data)
+			tf, err := os.Create(filepath.Join(*csvDir, safe+"_transfers.csv"))
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteTransfersCSV(tf, res.Transfers[p.Data], res.Base); err != nil {
+				tf.Close()
+				return err
+			}
+			if err := tf.Close(); err != nil {
+				return err
+			}
+			of, err := os.Create(filepath.Join(*csvDir, safe+"_occupancy.csv"))
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteOccupancyCSV(of, res.Occupancy[p.Data], res.Base); err != nil {
+				of.Close()
+				return err
+			}
+			if err := of.Close(); err != nil {
+				return err
+			}
+			if stats, err := trace.SummariseOccupancy(res.Occupancy[p.Data], res.EndTick); err == nil {
+				fmt.Fprintf(out, "buffer %-16s occupancy peak %6d mean %8.2f\n",
+					p.Buffer, stats.Peak, stats.Mean.Float64())
+			}
+		}
+		fmt.Fprintf(out, "wrote CSV files to %s\n", *csvDir)
+	}
+	return nil
+}

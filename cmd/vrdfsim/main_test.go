@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vrdfcap"
+)
+
+// writePairJSON writes the Figure-1 pair, sized with the given capacity.
+func writePairJSON(t *testing.T, capacity int64, withConstraint bool) string {
+	t.Helper()
+	g, err := vrdfcap.Pair("wa", vrdfcap.Rat(1, 1), "wb", vrdfcap.Rat(1, 1),
+		vrdfcap.Quanta(3), vrdfcap.Quanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Buffers()[0].Capacity = capacity
+	var c *vrdfcap.Constraint
+	if withConstraint {
+		c = &vrdfcap.Constraint{Task: "wb", Period: vrdfcap.Rat(3, 1)}
+	}
+	data, err := vrdfcap.EncodeJSON(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pair.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimSelfTimed(t *testing.T) {
+	path := writePairJSON(t, 7, true)
+	var out bytes.Buffer
+	if err := run([]string{"-firings", "100", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"outcome: completed", "task wa", "task wb", "average period", "edge "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSimWorkloadVariants(t *testing.T) {
+	path := writePairJSON(t, 7, true)
+	for _, w := range []string{"uniform", "min", "max", "alternate"} {
+		var out bytes.Buffer
+		if err := run([]string{"-firings", "50", "-workload", w, path}, &out); err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if !strings.Contains(out.String(), "outcome: completed") {
+			t.Errorf("%s: run did not complete:\n%s", w, out.String())
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "bogus", path}, &out); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestSimDeadlockReport(t *testing.T) {
+	path := writePairJSON(t, 3, true)
+	var out bytes.Buffer
+	if err := run([]string{"-firings", "100", "-workload", "min", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "outcome: deadlocked") || !strings.Contains(text, "blocked on") {
+		t.Errorf("deadlock not reported:\n%s", text)
+	}
+}
+
+func TestSimPeriodicMode(t *testing.T) {
+	path := writePairJSON(t, 7, true)
+	var out bytes.Buffer
+	if err := run([]string{"-firings", "100", "-workload", "max", "-periodic", "-offset", "10", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "outcome: completed") {
+		t.Errorf("periodic run failed:\n%s", out.String())
+	}
+	// Periodic mode without a constraint in the file is an error.
+	noCon := writePairJSON(t, 7, false)
+	if err := run([]string{"-periodic", noCon}, &out); err == nil {
+		t.Error("periodic without constraint accepted")
+	}
+	// Malformed offset.
+	if err := run([]string{"-periodic", "-offset", "x", path}, &out); err == nil {
+		t.Error("bad offset accepted")
+	}
+}
+
+func TestSimGantt(t *testing.T) {
+	path := writePairJSON(t, 7, true)
+	var out bytes.Buffer
+	if err := run([]string{"-firings", "20", "-gantt", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Errorf("gantt marks missing:\n%s", out.String())
+	}
+}
+
+func TestSimStopTaskOverride(t *testing.T) {
+	path := writePairJSON(t, 7, true)
+	var out bytes.Buffer
+	if err := run([]string{"-firings", "10", "-task", "wa", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "average period of wa") {
+		t.Errorf("stop task override ignored:\n%s", out.String())
+	}
+	if err := run([]string{"-task", "zz", path}, &out); err == nil {
+		t.Error("unknown stop task accepted")
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Unsized graph.
+	unsized := writePairJSON(t, 0, true)
+	if err := run([]string{unsized}, &out); err == nil {
+		t.Error("unsized graph accepted")
+	}
+}
+
+func TestSimCSVDir(t *testing.T) {
+	path := writePairJSON(t, 7, true)
+	dir := filepath.Join(t.TempDir(), "csv")
+	var out bytes.Buffer
+	if err := run([]string{"-firings", "30", "-csv-dir", dir, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("wrote %d files, want 2", len(entries))
+	}
+	if !strings.Contains(out.String(), "occupancy peak") {
+		t.Errorf("occupancy summary missing:\n%s", out.String())
+	}
+}
+
+func TestSimTextCameraDocument(t *testing.T) {
+	// The camera testdata document has no capacities: vrdfsim must
+	// reject it with a clear error.
+	var out bytes.Buffer
+	if err := run([]string{"../../testdata/camera.txt"}, &out); err == nil {
+		t.Error("unsized text document accepted")
+	}
+}

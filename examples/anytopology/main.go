@@ -1,0 +1,106 @@
+// Beyond chains (paper §6): the VRDF *simulator* already handles arbitrary
+// topologies, including cycles — the paper's future work is the analysis,
+// not the execution model.
+//
+// This example builds a three-actor ring (a feedback loop: each stage
+// passes a data-dependent batch of 1 or 2 tokens to the next) and measures
+// self-timed throughput as a function of the tokens circulating in the
+// ring — the classic token/latency trade-off curve that a general-topology
+// VRDF analysis would have to predict. The batch size of each actor is the
+// same on its input and output edge (one shared per-firing sequence), so
+// tokens are conserved on the ring.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+	"vrdfcap/internal/vrdf"
+)
+
+func ring(initial int64) (*vrdf.Graph, map[string]sim.EdgeQuanta, error) {
+	g := vrdf.New()
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		if _, err := g.AddActor(n, ratio.One); err != nil {
+			return nil, nil, err
+		}
+	}
+	batch := taskgraph.MustQuanta(1, 2)
+	q := make(map[string]sim.EdgeQuanta, len(names))
+	// Per-actor batch sequences; the consumption on the incoming edge
+	// and production on the outgoing edge of one actor share a
+	// sequence, so each firing forwards exactly what it consumed.
+	seqs := map[string]quanta.Sequence{
+		"a": quanta.Cycle(1, 2, 2),
+		"b": quanta.Cycle(2, 1),
+		"c": quanta.Uniform(batch, 3),
+	}
+	for i, n := range names {
+		next := names[(i+1)%len(names)]
+		tokens := int64(0)
+		if i == 0 {
+			tokens = initial
+		}
+		e, err := g.AddEdge(vrdf.Edge{
+			Name: n + "->" + next, Src: n, Dst: next,
+			Prod: batch, Cons: batch, Initial: tokens,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Producer n forwards seqs[n]; consumer next takes seqs[next].
+		q[e.Name] = sim.EdgeQuanta{Prod: seqs[n], Cons: seqs[next]}
+	}
+	return g, q, nil
+}
+
+func main() {
+	fmt.Println("three-actor VRDF ring, data-dependent batches {1,2}, ρ = 1 each")
+	fmt.Println("ring tokens -> measured self-timed period of actor a:")
+	for d := int64(1); d <= 6; d++ {
+		g, q, err := ring(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Graph:        g,
+			Quanta:       q,
+			Stop:         sim.Stop{Actor: "a", Firings: 300},
+			RecordStarts: []string{"a"},
+			Validate:     true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Outcome == sim.Deadlocked {
+			// Note: with variable batches even d = 2 (the maximum
+			// batch) deadlocks — the circulating tokens split across
+			// edges while every actor demands its maximum. Another
+			// facet of the paper's point that maxima are not enough.
+			fmt.Printf("  d=%d: deadlock —", d)
+			for _, blk := range res.Deadlock.Blocked {
+				fmt.Printf(" %s needs %d on %s (has %d);", blk.Actor, blk.Need, blk.Edge, blk.Have)
+			}
+			fmt.Println()
+			continue
+		}
+		if res.Outcome != sim.Completed {
+			log.Fatalf("d=%d: %v", d, res.Outcome)
+		}
+		avg, err := sim.AveragePeriodTicks(res.Starts["a"])
+		if err != nil {
+			log.Fatal(err)
+		}
+		period := avg.DivInt(res.Base.TicksPerUnit)
+		fmt.Printf("  d=%d: average period %8s  (%.4f time units)\n", d, period, period.Float64())
+	}
+	fmt.Println("\nmore circulating tokens buy throughput until the actors' response")
+	fmt.Println("times dominate — the curve a general-topology VRDF analysis (the")
+	fmt.Println("paper's future work) would need to bound. Sizing such rings is out")
+	fmt.Println("of scope for the chain algorithm; simulation quantifies them today.")
+}

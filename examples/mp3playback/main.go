@@ -1,0 +1,80 @@
+// MP3 playback (paper §5, Figure 5): size the buffers of a four-task MP3
+// chain with a variable bit-rate stream, export the graphs, and listen to
+// one simulated second of playback.
+//
+//	vBR --2048/n--> vMP3 --1152/480--> vSRC --441/1--> vDAC @ 44.1 kHz
+//
+// This example drives the public API end to end: build the Figure-5 graph
+// from the mp3 application model, analyse it, write the DOT and JSON
+// artefacts, and verify the sizing against a synthetic VBR stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"vrdfcap"
+	"vrdfcap/internal/mp3"
+	"vrdfcap/internal/quanta"
+)
+
+func main() {
+	g, err := mp3.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := mp3.Constraint()
+
+	sized, res, err := vrdfcap.Size(g, c, vrdfcap.PolicyEquation4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vrdfcap.WriteReport(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+
+	// Export the sized task graph and its VRDF analysis graph.
+	dir := os.TempDir()
+	dotPath := filepath.Join(dir, "mp3-taskgraph.dot")
+	f, err := os.Create(dotPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vrdfcap.WriteDOT(f, sized); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "mp3-sized.json")
+	data, err := vrdfcap.EncodeJSON(sized, &c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s and %s\n", dotPath, jsonPath)
+
+	// One second of simulated playback under a random VBR stream.
+	fmt.Println("\nsimulating one second of playback (44100 DAC firings)...")
+	v, err := vrdfcap.Verify(sized, c, vrdfcap.VerifyOptions{
+		Firings: 44100,
+		Workloads: vrdfcap.Workloads{
+			mp3.BufferNames()[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), 42)},
+		},
+		Validate: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vrdfcap.WriteVerification(os.Stdout, v); err != nil {
+		log.Fatal(err)
+	}
+	if !v.OK {
+		os.Exit(1)
+	}
+	fmt.Println("\nthe DAC never starved: the computed capacities satisfy the 44.1 kHz constraint.")
+}

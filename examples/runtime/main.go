@@ -1,0 +1,103 @@
+// Real concurrent execution: size the buffers with the analysis, then run
+// the task graph as actual goroutines communicating over C-HEAP circular
+// buffers — the implementation style the paper's task model abstracts
+// (reference [8]).
+//
+// The pipeline parses a synthetic variable-length byte stream: a reader
+// produces fixed 48-byte blocks, a parser consumes data-dependent records
+// of 8–24 bytes and emits 12-byte units, and a writer drains 4 units per
+// firing. The analysis picks the buffer capacities; the concurrent run
+// validates them with real synchronisation (run the tests with -race for
+// the full check).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vrdfcap"
+	"vrdfcap/internal/cheap"
+	"vrdfcap/internal/quanta"
+)
+
+func main() {
+	recordSizes := vrdfcap.Quanta(8, 12, 16, 24)
+	g, err := vrdfcap.Chain(
+		[]vrdfcap.Stage{
+			{Name: "reader", WCRT: vrdfcap.Rat(1, 1000)},
+			{Name: "parser", WCRT: vrdfcap.Rat(1, 2000)},
+			{Name: "writer", WCRT: vrdfcap.Rat(1, 4000)},
+		},
+		[]vrdfcap.Link{
+			{Prod: vrdfcap.Quanta(48), Cons: recordSizes},
+			{Prod: vrdfcap.Quanta(12), Cons: vrdfcap.Quanta(4)},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := vrdfcap.Constraint{Task: "writer", Period: vrdfcap.Rat(1, 1500)}
+	_, res, err := vrdfcap.Size(g, c, vrdfcap.PolicyEquation4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Valid {
+		log.Fatalf("infeasible: %v", res.Diagnostics)
+	}
+	caps := []int64{res.Buffers[0].Capacity, res.Buffers[1].Capacity}
+	fmt.Printf("analysis: capacities %v containers (total %d)\n", caps, res.TotalCapacity())
+
+	// The record stream the parser will see (data dependent, seeded).
+	records := quanta.Uniform(recordSizes, 7)
+
+	var produced, consumed int64
+	stages := []cheap.Stage[byte]{
+		{
+			Name: "reader",
+			Prod: quanta.Constant(48),
+			Work: func(k int64, _ []byte) []byte {
+				out := make([]byte, 48)
+				for i := range out {
+					out[i] = byte(produced % 251)
+					produced++
+				}
+				return out
+			},
+		},
+		{
+			Name: "parser",
+			Cons: records,
+			Prod: quanta.Constant(12),
+			Work: func(k int64, in []byte) []byte {
+				// Verify stream continuity, then emit one unit.
+				for _, b := range in {
+					if b != byte(consumed%251) {
+						log.Fatalf("stream corrupted at byte %d", consumed)
+					}
+					consumed++
+				}
+				return make([]byte, 12)
+			},
+		},
+		{
+			Name: "writer",
+			Cons: quanta.Constant(4),
+			Work: func(int64, []byte) []byte { return nil },
+		},
+	}
+	p, err := cheap.NewPipeline(stages, caps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const firings = 30000
+	start := time.Now()
+	if err := p.Run(firings); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("concurrent run: %d writer firings in %v (%.0f firings/s), %d bytes parsed, stream intact\n",
+		firings, elapsed.Round(time.Millisecond),
+		float64(firings)/elapsed.Seconds(), consumed)
+	fmt.Println("no deadlock, no corruption: the computed capacities hold up under real concurrency.")
+}

@@ -1,0 +1,112 @@
+package vrdfcap
+
+import (
+	"vrdfcap/internal/alloc"
+	"vrdfcap/internal/arbiter"
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/exact"
+	"vrdfcap/internal/ratio"
+)
+
+// Extended analyses layered on the core algorithm.
+type (
+	// ChainSchedule is the chain-wide anchoring of the bound schedule:
+	// analytic periodic offset for the sink and an end-to-end latency
+	// bound.
+	ChainSchedule = capacity.ChainSchedule
+	// SweepPoint is one point of a throughput/buffer trade-off curve.
+	SweepPoint = capacity.SweepPoint
+
+	// TDM and RoundRobin derive worst-case response times κ from
+	// worst-case execution times and arbiter settings (§3.1).
+	TDM        = arbiter.TDM
+	RoundRobin = arbiter.RoundRobin
+	// Arbiter is any rate-independent response-time guarantee.
+	Arbiter = arbiter.Arbiter
+
+	// Platform dimensioning: processors, bindings and the Dimension
+	// outcome.
+	Processor      = alloc.Processor
+	Binding        = alloc.Binding
+	Platform       = alloc.Platform
+	PlatformResult = alloc.Result
+)
+
+// AnchoredSchedule materialises the absolute-time schedule whose existence
+// a sink-constrained analysis proves: per-buffer bound lines, an offset at
+// which the strictly periodic sink is guaranteed feasible, and the latency
+// bound from the source's first start to the sink's first finish.
+func AnchoredSchedule(res *Result) (*ChainSchedule, error) {
+	return capacity.Anchored(res)
+}
+
+// SweepPeriods analyses the chain at every candidate period, producing the
+// throughput/buffer trade-off curve for design-space exploration.
+func SweepPeriods(g *Graph, task string, periods []RatNum, p Policy) ([]SweepPoint, error) {
+	return capacity.SweepPeriods(g, task, periods, p)
+}
+
+// MinimalFeasiblePeriod returns the first feasible point of an ascending
+// period sweep.
+func MinimalFeasiblePeriod(g *Graph, task string, periods []RatNum, p Policy) (SweepPoint, error) {
+	return capacity.MinimalFeasiblePeriod(g, task, periods, p)
+}
+
+// ResponseTime derives κ for a task with the given worst-case execution
+// time under an arbiter — the §3.1 assumption made concrete.
+func ResponseTime(a Arbiter, wcet RatNum) (RatNum, error) {
+	return a.ResponseTime(wcet)
+}
+
+// Dimension chooses TDM slices for every task (deadline: the φ the
+// throughput constraint demands), reports per-processor loads and runs the
+// capacity analysis with the derived response times — WCETs to guaranteed
+// system in one call.
+func Dimension(g *Graph, c Constraint, platform Platform, p Policy) (*PlatformResult, error) {
+	return alloc.Dimension(g, c, platform, p)
+}
+
+// ExactPairMinimum returns the true minimum deadlock-free capacity of a
+// producer–consumer pair over every admissible quanta sequence, by
+// exhaustive adversarial state-space search (small quanta sets only; see
+// internal/exact for the guard).
+func ExactPairMinimum(prod, cons QuantaSet) (int64, error) {
+	return exact.MinCapacity(prod, cons)
+}
+
+// CertifyDeadlockFree exhaustively checks a sized chain against every
+// sequence of coupled per-firing quanta choices — a certificate stronger
+// than any finite simulation, feasible for small quanta sets and
+// capacities. Returns the adversarial witness on failure.
+func CertifyDeadlockFree(sized *Graph, maxStates int) (bool, *exact.ChainWitness, error) {
+	return exact.ChainDeadlockFree(sized, maxStates)
+}
+
+// GeometricPeriods returns n periods start, start·num/den, start·(num/den)²,
+// … — a convenient sweep axis (num/den > 1 relaxes the constraint).
+func GeometricPeriods(start RatNum, num, den int64, n int) ([]RatNum, error) {
+	if n <= 0 {
+		return nil, errBadSweep
+	}
+	step, err := ratio.New(num, den)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RatNum, n)
+	cur := start
+	for i := range out {
+		out[i] = cur
+		next, err := cur.MulChecked(step)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return out, nil
+}
+
+var errBadSweep = errString("vrdfcap: sweep needs a positive number of periods")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

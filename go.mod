@@ -1,0 +1,3 @@
+module vrdfcap
+
+go 1.22

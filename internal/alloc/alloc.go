@@ -1,0 +1,208 @@
+// Package alloc dimensions the platform side of the paper's system model:
+// given a chain of tasks with worst-case execution times, a set of
+// TDM-arbitrated processors and a binding of tasks to processors, it
+// computes per-task TDM slices such that every task's worst-case response
+// time κ (slice-dependent, per the arbiter model) stays within the minimal
+// start distance φ that the throughput constraint demands — and then runs
+// the buffer-capacity analysis on the resulting response times.
+//
+// This closes the loop the paper sketches in §3.1: the analysis consumes
+// response times that "run-time arbiters can guarantee given the worst-case
+// execution times and the scheduler settings"; this package finds scheduler
+// settings that make the whole chain feasible, or explains why none exist
+// (a task's WCET above its φ, or a processor's TDM wheel overflowing).
+//
+// A key structural fact makes this a one-pass computation: the minimal
+// start distances φ depend only on the transfer quanta and the period, not
+// on the response times, so the deadlines for the slice computation are
+// known before any slice is chosen.
+package alloc
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/arbiter"
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+// Processor is one TDM-arbitrated resource.
+type Processor struct {
+	// Name identifies the processor.
+	Name string
+	// Frame is the TDM wheel period.
+	Frame ratio.Rat
+}
+
+// Binding places one task on a processor with its worst-case execution
+// time.
+type Binding struct {
+	Task      string
+	Processor string
+	WCET      ratio.Rat
+}
+
+// Platform is the processor set and the task binding.
+type Platform struct {
+	Processors []Processor
+	Bindings   []Binding
+}
+
+// TaskAllocation is the per-task outcome.
+type TaskAllocation struct {
+	Task      string
+	Processor string
+	WCET      ratio.Rat
+	// Slice is the chosen TDM slice.
+	Slice ratio.Rat
+	// Rho is the resulting worst-case response time κ.
+	Rho ratio.Rat
+	// Phi is the deadline the slice was chosen against.
+	Phi ratio.Rat
+}
+
+// ProcessorLoad is the per-processor outcome.
+type ProcessorLoad struct {
+	Processor string
+	Frame     ratio.Rat
+	// SliceSum is the total allocated slice time per frame.
+	SliceSum ratio.Rat
+	// Utilisation is SliceSum/Frame.
+	Utilisation ratio.Rat
+	// Fits reports SliceSum <= Frame.
+	Fits bool
+}
+
+// Result is the outcome of Dimension.
+type Result struct {
+	Tasks      []TaskAllocation
+	Processors []ProcessorLoad
+	// Analysis is the buffer-capacity analysis with the derived
+	// response times; nil when slice allocation already failed.
+	Analysis *capacity.Result
+	// Feasible reports that every slice was found, every TDM wheel
+	// fits, and the final analysis is valid.
+	Feasible bool
+	// Diagnostics explains failures.
+	Diagnostics []string
+}
+
+// Dimension chooses TDM slices and sizes the buffers. The graph's WCRT
+// values are ignored (they are an *output* here); the WCETs come from the
+// platform binding, which must cover every task exactly once.
+func Dimension(g *taskgraph.Graph, c taskgraph.Constraint, platform Platform, policy capacity.Policy) (*Result, error) {
+	procByName := make(map[string]*Processor, len(platform.Processors))
+	for i := range platform.Processors {
+		p := &platform.Processors[i]
+		if p.Frame.Sign() <= 0 {
+			return nil, fmt.Errorf("alloc: processor %s needs a positive frame, got %v", p.Name, p.Frame)
+		}
+		if _, dup := procByName[p.Name]; dup {
+			return nil, fmt.Errorf("alloc: duplicate processor %s", p.Name)
+		}
+		procByName[p.Name] = p
+	}
+	bindByTask := make(map[string]*Binding, len(platform.Bindings))
+	for i := range platform.Bindings {
+		b := &platform.Bindings[i]
+		if _, dup := bindByTask[b.Task]; dup {
+			return nil, fmt.Errorf("alloc: task %s bound twice", b.Task)
+		}
+		if g.Task(b.Task) == nil {
+			return nil, fmt.Errorf("alloc: binding for unknown task %s", b.Task)
+		}
+		if _, ok := procByName[b.Processor]; !ok {
+			return nil, fmt.Errorf("alloc: task %s bound to unknown processor %s", b.Task, b.Processor)
+		}
+		if b.WCET.Sign() <= 0 {
+			return nil, fmt.Errorf("alloc: task %s needs a positive WCET, got %v", b.Task, b.WCET)
+		}
+		bindByTask[b.Task] = b
+	}
+	for _, t := range g.Tasks() {
+		if _, ok := bindByTask[t.Name]; !ok {
+			return nil, fmt.Errorf("alloc: task %s has no binding", t.Name)
+		}
+	}
+
+	// φ depends only on quanta and the period: compute it with the
+	// WCETs standing in for κ (the values do not influence φ).
+	withWCET := g.Clone()
+	for _, t := range withWCET.Tasks() {
+		t.WCRT = bindByTask[t.Name].WCET
+	}
+	pre, err := capacity.Compute(withWCET, c, policy)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Feasible: true}
+	sliceSums := make(map[string]ratio.Rat, len(platform.Processors))
+	rhoByTask := make(map[string]ratio.Rat, len(platform.Bindings))
+	tasks, _, err := g.Chain()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tasks {
+		b := bindByTask[t.Name]
+		proc := procByName[b.Processor]
+		phi := pre.Phi[t.Name]
+		ta := TaskAllocation{
+			Task: t.Name, Processor: b.Processor, WCET: b.WCET, Phi: phi,
+		}
+		tdm := arbiter.TDM{Frame: proc.Frame}
+		slice, err := tdm.MinSliceForDeadline(b.WCET, phi)
+		if err != nil {
+			res.Feasible = false
+			res.Diagnostics = append(res.Diagnostics, fmt.Sprintf(
+				"task %s on %s: no TDM slice meets φ=%v: %v", t.Name, b.Processor, phi, err))
+			// Account a full frame so the utilisation report shows
+			// the pressure, and carry the WCET as a floor for κ.
+			ta.Slice = proc.Frame
+			ta.Rho = b.WCET
+		} else {
+			ta.Slice = slice
+			rho, err := arbiter.TDM{Slice: slice, Frame: proc.Frame}.ResponseTime(b.WCET)
+			if err != nil {
+				return nil, err
+			}
+			ta.Rho = rho
+		}
+		rhoByTask[t.Name] = ta.Rho
+		sliceSums[b.Processor] = sliceSums[b.Processor].Add(ta.Slice)
+		res.Tasks = append(res.Tasks, ta)
+	}
+	for _, p := range platform.Processors {
+		sum := sliceSums[p.Name]
+		load := ProcessorLoad{
+			Processor:   p.Name,
+			Frame:       p.Frame,
+			SliceSum:    sum,
+			Utilisation: sum.Div(p.Frame),
+			Fits:        sum.LessEq(p.Frame),
+		}
+		if !load.Fits {
+			res.Feasible = false
+			res.Diagnostics = append(res.Diagnostics, fmt.Sprintf(
+				"processor %s: allocated slices %v exceed the frame %v", p.Name, sum, p.Frame))
+		}
+		res.Processors = append(res.Processors, load)
+	}
+
+	// Final analysis with the derived response times.
+	final := g.Clone()
+	for _, t := range final.Tasks() {
+		t.WCRT = rhoByTask[t.Name]
+	}
+	analysis, err := capacity.Compute(final, c, policy)
+	if err != nil {
+		return nil, err
+	}
+	res.Analysis = analysis
+	if !analysis.Valid {
+		res.Feasible = false
+		res.Diagnostics = append(res.Diagnostics, analysis.Diagnostics...)
+	}
+	return res, nil
+}

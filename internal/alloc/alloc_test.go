@@ -1,0 +1,235 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+func r(n, d int64) ratio.Rat { return ratio.MustNew(n, d) }
+
+func pair(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g, err := taskgraph.Pair("a", r(1, 1), "b", r(1, 1),
+		taskgraph.MustQuanta(1), taskgraph.MustQuanta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDimensionFeasiblePair(t *testing.T) {
+	g := pair(t)
+	platform := Platform{
+		Processors: []Processor{{Name: "cpu", Frame: r(10, 1)}},
+		Bindings: []Binding{
+			{Task: "a", Processor: "cpu", WCET: r(1, 1)},
+			{Task: "b", Processor: "cpu", WCET: r(1, 1)},
+		},
+	}
+	res, err := Dimension(g, taskgraph.Constraint{Task: "b", Period: r(12, 1)}, platform, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("infeasible: %v", res.Diagnostics)
+	}
+	for _, ta := range res.Tasks {
+		if ta.Rho.Cmp(ta.Phi) > 0 {
+			t.Errorf("task %s: κ=%v exceeds φ=%v", ta.Task, ta.Rho, ta.Phi)
+		}
+		if ta.Slice.Sign() <= 0 {
+			t.Errorf("task %s: no slice", ta.Task)
+		}
+	}
+	load := res.Processors[0]
+	if !load.Fits || load.Utilisation.Cmp(ratio.One) > 0 {
+		t.Errorf("load = %+v", load)
+	}
+	if res.Analysis == nil || !res.Analysis.Valid {
+		t.Fatal("final analysis missing or invalid")
+	}
+	if res.Analysis.Buffers[0].Capacity <= 0 {
+		t.Error("no capacity computed")
+	}
+	// The derived response times must be what the analysis used.
+	for _, ta := range res.Tasks {
+		for _, ck := range res.Analysis.Checks {
+			if ck.Task == ta.Task && !ck.Rho.Equal(ta.Rho) {
+				t.Errorf("analysis used ρ=%v for %s, allocation derived %v", ck.Rho, ta.Task, ta.Rho)
+			}
+		}
+	}
+}
+
+func TestDimensionWheelOverflow(t *testing.T) {
+	g, err := taskgraph.BuildChain(
+		[]taskgraph.Stage{
+			{Name: "a", WCRT: r(1, 1)}, {Name: "b", WCRT: r(1, 1)}, {Name: "c", WCRT: r(1, 1)},
+		},
+		[]taskgraph.Link{
+			{Prod: taskgraph.MustQuanta(1), Cons: taskgraph.MustQuanta(1)},
+			{Prod: taskgraph.MustQuanta(1), Cons: taskgraph.MustQuanta(1)},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := Platform{
+		Processors: []Processor{{Name: "cpu", Frame: r(4, 1)}},
+		Bindings: []Binding{
+			{Task: "a", Processor: "cpu", WCET: r(2, 1)},
+			{Task: "b", Processor: "cpu", WCET: r(2, 1)},
+			{Task: "c", Processor: "cpu", WCET: r(2, 1)},
+		},
+	}
+	res, err := Dimension(g, taskgraph.Constraint{Task: "c", Period: r(5, 1)}, platform, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("overloaded wheel accepted")
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d, "exceed the frame") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no wheel diagnostic: %v", res.Diagnostics)
+	}
+}
+
+func TestDimensionImpossibleDeadline(t *testing.T) {
+	g := pair(t)
+	platform := Platform{
+		Processors: []Processor{{Name: "cpu", Frame: r(10, 1)}},
+		Bindings: []Binding{
+			{Task: "a", Processor: "cpu", WCET: r(9, 1)},
+			{Task: "b", Processor: "cpu", WCET: r(1, 1)},
+		},
+	}
+	// φ(a) = 3 < WCET 9: no arbiter can help.
+	res, err := Dimension(g, taskgraph.Constraint{Task: "b", Period: r(3, 1)}, platform, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("impossible deadline accepted")
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d, "no TDM slice") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no slice diagnostic: %v", res.Diagnostics)
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	g := pair(t)
+	con := taskgraph.Constraint{Task: "b", Period: r(12, 1)}
+	base := Platform{
+		Processors: []Processor{{Name: "cpu", Frame: r(10, 1)}},
+		Bindings: []Binding{
+			{Task: "a", Processor: "cpu", WCET: r(1, 1)},
+			{Task: "b", Processor: "cpu", WCET: r(1, 1)},
+		},
+	}
+	cases := []struct {
+		name   string
+		mutate func(Platform) Platform
+	}{
+		{"zero frame", func(p Platform) Platform {
+			p.Processors = []Processor{{Name: "cpu", Frame: ratio.Zero}}
+			return p
+		}},
+		{"duplicate processor", func(p Platform) Platform {
+			p.Processors = append(p.Processors, Processor{Name: "cpu", Frame: r(1, 1)})
+			return p
+		}},
+		{"duplicate binding", func(p Platform) Platform {
+			p.Bindings = append(p.Bindings, p.Bindings[0])
+			return p
+		}},
+		{"unknown task", func(p Platform) Platform {
+			p.Bindings = append(p.Bindings, Binding{Task: "zz", Processor: "cpu", WCET: r(1, 1)})
+			return p
+		}},
+		{"unknown processor", func(p Platform) Platform {
+			p.Bindings[0].Processor = "zz"
+			return p
+		}},
+		{"zero wcet", func(p Platform) Platform {
+			p.Bindings[0].WCET = ratio.Zero
+			return p
+		}},
+		{"missing binding", func(p Platform) Platform {
+			p.Bindings = p.Bindings[:1]
+			return p
+		}},
+	}
+	for _, c := range cases {
+		// Deep-copy the base platform before mutating.
+		cp := Platform{
+			Processors: append([]Processor(nil), base.Processors...),
+			Bindings:   append([]Binding(nil), base.Bindings...),
+		}
+		if _, err := Dimension(g, con, c.mutate(cp), capacity.PolicyEquation4); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDimensionMP3StyleTwoProcessors(t *testing.T) {
+	// A realistic split: front end (reader + decoder) on one processor,
+	// back end (SRC) on another, sink dedicated. WCETs well under the φ
+	// values so slices exist comfortably.
+	g, err := taskgraph.BuildChain(
+		[]taskgraph.Stage{
+			{Name: "rd", WCRT: r(1, 1)}, {Name: "dec", WCRT: r(1, 1)},
+			{Name: "src", WCRT: r(1, 1)}, {Name: "out", WCRT: r(1, 1)},
+		},
+		[]taskgraph.Link{
+			{Prod: taskgraph.MustQuanta(16), Cons: taskgraph.MustQuanta(2, 8)},
+			{Prod: taskgraph.MustQuanta(9), Cons: taskgraph.MustQuanta(4)},
+			{Prod: taskgraph.MustQuanta(3), Cons: taskgraph.MustQuanta(1)},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := Platform{
+		Processors: []Processor{
+			{Name: "cpu0", Frame: r(2, 1)},
+			{Name: "cpu1", Frame: r(1, 2)},
+		},
+		Bindings: []Binding{
+			{Task: "rd", Processor: "cpu0", WCET: r(1, 2)},
+			{Task: "dec", Processor: "cpu0", WCET: r(1, 2)},
+			{Task: "src", Processor: "cpu1", WCET: r(1, 8)},
+			{Task: "out", Processor: "cpu1", WCET: r(1, 8)},
+		},
+	}
+	res, err := Dimension(g, taskgraph.Constraint{Task: "out", Period: r(2, 1)}, platform, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("infeasible: %v", res.Diagnostics)
+	}
+	if len(res.Processors) != 2 {
+		t.Fatalf("processors = %d", len(res.Processors))
+	}
+	for _, p := range res.Processors {
+		if !p.Fits {
+			t.Errorf("processor %s overloaded: %v/%v", p.Processor, p.SliceSum, p.Frame)
+		}
+	}
+}

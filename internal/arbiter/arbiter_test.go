@@ -1,0 +1,198 @@
+package arbiter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vrdfcap/internal/ratio"
+)
+
+func r(n, d int64) ratio.Rat { return ratio.MustNew(n, d) }
+
+func TestTDMResponseTime(t *testing.T) {
+	cases := []struct {
+		name         string
+		slice, frame ratio.Rat
+		wcet         ratio.Rat
+		want         ratio.Rat
+	}{
+		// C <= S: one slice; wait P-S then run C.
+		{"single slice", r(2, 1), r(10, 1), r(1, 1), r(9, 1)},
+		// C == S exactly: rho = P.
+		{"full slice", r(2, 1), r(10, 1), r(2, 1), r(10, 1)},
+		// C == 2S: two slices -> 2(P-S) + C = 2P.
+		{"two slices", r(2, 1), r(10, 1), r(4, 1), r(20, 1)},
+		// Fractional: C = 3, S = 2 -> 2 slices: 2*8 + 3 = 19.
+		{"ceil", r(2, 1), r(10, 1), r(3, 1), r(19, 1)},
+		// Slice == frame: dedicated resource, rho = C.
+		{"dedicated", r(10, 1), r(10, 1), r(7, 2), r(7, 2)},
+	}
+	for _, c := range cases {
+		got, err := TDM{Slice: c.slice, Frame: c.frame}.ResponseTime(c.wcet)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s: ρ = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTDMValidation(t *testing.T) {
+	if _, err := (TDM{Slice: ratio.Zero, Frame: r(10, 1)}).ResponseTime(r(1, 1)); err == nil {
+		t.Error("zero slice accepted")
+	}
+	if _, err := (TDM{Slice: r(11, 1), Frame: r(10, 1)}).ResponseTime(r(1, 1)); err == nil {
+		t.Error("slice > frame accepted")
+	}
+	if _, err := (TDM{Slice: r(1, 1), Frame: r(10, 1)}).ResponseTime(ratio.Zero); err == nil {
+		t.Error("zero WCET accepted")
+	}
+}
+
+func TestTDMUtilisation(t *testing.T) {
+	u := TDM{Slice: r(2, 1), Frame: r(10, 1)}.Utilisation()
+	if !u.Equal(r(1, 5)) {
+		t.Errorf("utilisation = %v, want 1/5", u)
+	}
+}
+
+func TestMinSliceForDeadline(t *testing.T) {
+	tdm := TDM{Frame: r(10, 1)}
+	// WCET 2, deadline 10: a slice of 2 gives rho = 10 exactly.
+	s, err := tdm.MinSliceForDeadline(r(2, 1), r(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TDM{Slice: s, Frame: tdm.Frame}.ResponseTime(r(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(r(10, 1)) > 0 {
+		t.Errorf("slice %v gives ρ = %v > deadline", s, got)
+	}
+	// A tight deadline forces a bigger slice than a loose one.
+	loose, err := tdm.MinSliceForDeadline(r(2, 1), r(40, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Less(loose) {
+		t.Errorf("loose deadline needs bigger slice (%v) than tight (%v)", loose, s)
+	}
+	// Infeasible: deadline below WCET.
+	if _, err := tdm.MinSliceForDeadline(r(2, 1), r(1, 1)); err == nil {
+		t.Error("deadline < WCET accepted")
+	}
+}
+
+func TestMinSliceForDeadlineAlwaysMeets(t *testing.T) {
+	f := func(c8, d8 uint8) bool {
+		frame := r(100, 1)
+		wcet := r(int64(c8%50)+1, 1)
+		deadline := wcet.Add(r(int64(d8)+1, 1))
+		tdm := TDM{Frame: frame}
+		s, err := tdm.MinSliceForDeadline(wcet, deadline)
+		if err != nil {
+			// Infeasible configurations are allowed; the property
+			// only covers returned slices.
+			return true
+		}
+		rt, err := TDM{Slice: s, Frame: frame}.ResponseTime(wcet)
+		if err != nil {
+			return false
+		}
+		return rt.LessEq(deadline) && s.LessEq(frame) && s.Sign() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundRobinResponseTime(t *testing.T) {
+	rr := RoundRobin{
+		OwnSlice:    r(2, 1),
+		OtherSlices: []ratio.Rat{r(3, 1), r(1, 1)},
+	}
+	// C = 2 -> 1 own slice, 1 round of others (4): rho = 6.
+	got, err := rr.ResponseTime(r(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r(6, 1)) {
+		t.Errorf("ρ = %v, want 6", got)
+	}
+	// C = 5 -> 3 own slices: rho = 5 + 3*4 = 17.
+	got, err = rr.ResponseTime(r(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r(17, 1)) {
+		t.Errorf("ρ = %v, want 17", got)
+	}
+	// Alone on the resource: rho = C.
+	alone := RoundRobin{OwnSlice: r(2, 1)}
+	got, err = alone.ResponseTime(r(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r(5, 1)) {
+		t.Errorf("alone ρ = %v, want 5", got)
+	}
+}
+
+func TestRoundRobinValidation(t *testing.T) {
+	if _, err := (RoundRobin{OwnSlice: ratio.Zero}).ResponseTime(r(1, 1)); err == nil {
+		t.Error("zero own slice accepted")
+	}
+	bad := RoundRobin{OwnSlice: r(1, 1), OtherSlices: []ratio.Rat{ratio.Zero}}
+	if _, err := bad.ResponseTime(r(1, 1)); err == nil {
+		t.Error("zero other slice accepted")
+	}
+	ok := RoundRobin{OwnSlice: r(1, 1)}
+	if _, err := ok.ResponseTime(r(-1, 1)); err == nil {
+		t.Error("negative WCET accepted")
+	}
+}
+
+func TestDedicated(t *testing.T) {
+	got, err := Dedicated{}.ResponseTime(r(3, 2))
+	if err != nil || !got.Equal(r(3, 2)) {
+		t.Errorf("Dedicated ρ = %v, %v; want 3/2", got, err)
+	}
+	if _, err := (Dedicated{}).ResponseTime(ratio.Zero); err == nil {
+		t.Error("zero WCET accepted")
+	}
+}
+
+func TestPropTDMMonotoneInWCET(t *testing.T) {
+	f := func(c8 uint8) bool {
+		tdm := TDM{Slice: r(2, 1), Frame: r(10, 1)}
+		c := r(int64(c8%40)+1, 2)
+		r1, err1 := tdm.ResponseTime(c)
+		r2, err2 := tdm.ResponseTime(c.Add(r(1, 2)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.LessEq(r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTDMDominatesWCET(t *testing.T) {
+	// The arbiter can only add delay: rho >= C always.
+	f := func(c8, s8 uint8) bool {
+		s := r(int64(s8%9)+1, 1)
+		tdm := TDM{Slice: s, Frame: r(10, 1)}
+		c := r(int64(c8%40)+1, 2)
+		rt, err := tdm.ResponseTime(c)
+		if err != nil {
+			return false
+		}
+		return c.LessEq(rt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+package capacity
+
+import (
+	"testing"
+
+	"vrdfcap/internal/mp3"
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+func TestAnchoredMP3Chain(t *testing.T) {
+	g, c := mp3Graph(t)
+	res, err := Compute(g, c, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Anchored(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed accumulation (seconds):
+	//   A1 = 0
+	//   A2 = ρ(vBR) + μ1·(960−1)  = 32/625 + 959/40000 = 3007/40000
+	//   A3 = A2 + ρ(vMP3) + μ2·(480−1) = 26197/240000
+	//   O  = A3 + ρ(vSRC) + μ3·(1−1)   = 28597/240000
+	want := []ratio.Rat{
+		ratio.Zero,
+		ratio.MustNew(3007, 40000),
+		ratio.MustNew(26197, 240000),
+	}
+	if len(cs.Anchors) != 3 {
+		t.Fatalf("anchors = %v", cs.Anchors)
+	}
+	for i, w := range want {
+		if !cs.Anchors[i].Equal(w) {
+			t.Errorf("anchor %d = %v, want %v", i, cs.Anchors[i], w)
+		}
+	}
+	if w := ratio.MustNew(28597, 240000); !cs.SinkOffset.Equal(w) {
+		t.Errorf("sink offset = %v, want %v", cs.SinkOffset, w)
+	}
+	if w := ratio.MustNew(28597, 240000).Add(ratio.MustNew(1, 44100)); !cs.LatencyBound.Equal(w) {
+		t.Errorf("latency bound = %v, want %v", cs.LatencyBound, w)
+	}
+	// Anchors are increasing and the lines were shifted consistently.
+	for i := range cs.Lines {
+		if !cs.Lines[i].DataUpper.Offset.Equal(cs.Anchors[i].Add(res.Buffers[i].RhoProd)) {
+			t.Errorf("pair %d DataUpper offset = %v", i, cs.Lines[i].DataUpper.Offset)
+		}
+	}
+}
+
+func TestAnchoredOffsetVerifiesDirectly(t *testing.T) {
+	// The analytic sink offset is a working offset for the strictly
+	// periodic schedule: the simulator confirms on the first attempt.
+	if testing.Short() {
+		t.Skip("simulation horizon too long for -short")
+	}
+	g, c := mp3Graph(t)
+	res, err := Compute(g, c, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Anchored(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized, err := Sized(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range []quanta.Sequence{
+		quanta.Uniform(mp3.FrameSizes(), 77),
+		quanta.MinOf(mp3.FrameSizes()),
+		quanta.AlternateMinMax(mp3.FrameSizes()),
+	} {
+		v, err := sim.VerifyThroughput(sized, c, sim.VerifyOptions{
+			Firings:   2205,
+			Workloads: sim.Workloads{mp3.BufferNames()[0]: {Cons: seq}},
+			Offsets:   []ratio.Rat{cs.SinkOffset},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.OK {
+			t.Fatalf("analytic offset failed: %s", v.Reason)
+		}
+		if v.Attempts != 1 {
+			t.Errorf("analytic offset needed %d attempts, want 1", v.Attempts)
+		}
+		if !v.Offset.Equal(cs.SinkOffset) {
+			t.Errorf("verified offset %v, want analytic %v", v.Offset, cs.SinkOffset)
+		}
+	}
+}
+
+func TestAnchoredPairMatchesFigure3Anchoring(t *testing.T) {
+	// For a pair the chain anchoring reduces to the pair anchoring.
+	g, err := taskgraph.Pair("wa", r(1, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(g, taskgraph.Constraint{Task: "wb", Period: r(3, 1)}, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Anchored(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.SinkOffset.Equal(r(3, 1)) {
+		t.Errorf("sink offset = %v, want 3", cs.SinkOffset)
+	}
+	if !cs.LatencyBound.Equal(r(4, 1)) {
+		t.Errorf("latency bound = %v, want 4", cs.LatencyBound)
+	}
+	if !cs.Anchors[0].IsZero() {
+		t.Errorf("pair anchor = %v, want 0", cs.Anchors[0])
+	}
+}
+
+func TestAnchoredRejectsUnsupported(t *testing.T) {
+	// Source-constrained analyses have nothing to anchor.
+	g, err := taskgraph.Pair("wa", r(1, 100), "wb", r(1, 100),
+		taskgraph.MustQuanta(2, 3), taskgraph.MustQuanta(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(g, taskgraph.Constraint{Task: "wa", Period: r(1, 1)}, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anchored(res); err == nil {
+		t.Error("source-constrained anchoring accepted")
+	}
+	// Invalid analyses cannot be anchored either.
+	slow, err := taskgraph.Pair("wa", r(10, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Compute(slow, taskgraph.Constraint{Task: "wb", Period: r(3, 1)}, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anchored(bad); err == nil {
+		t.Error("infeasible anchoring accepted")
+	}
+}
+
+func TestLatencyBoundObservedInSimulation(t *testing.T) {
+	// The first sink start in any admissible execution happens no later
+	// than the anchored sink offset.
+	g, c := mp3Graph(t)
+	res, err := Compute(g, c, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Anchored(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized, err := Sized(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := sim.TaskGraphConfig(sized, sim.Workloads{
+		mp3.BufferNames()[0]: {Cons: quanta.MinOf(mp3.FrameSizes())},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stop = sim.Stop{Actor: mp3.TaskDAC, Firings: 10}
+	cfg.RecordStarts = []string{mp3.TaskDAC}
+	cfg.ExtraTimes = []ratio.Rat{cs.SinkOffset}
+	run, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Outcome != sim.Completed {
+		t.Fatalf("outcome %v", run.Outcome)
+	}
+	first := run.Base.Rat(run.Starts[mp3.TaskDAC][0])
+	if cs.SinkOffset.Less(first) {
+		t.Errorf("first sink start %v later than anchored offset %v", first, cs.SinkOffset)
+	}
+}

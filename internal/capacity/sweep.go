@@ -1,0 +1,64 @@
+package capacity
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+// SweepPoint is one point of a throughput/buffer trade-off curve: the
+// period analysed, whether the chain is feasible at that period, and the
+// resulting total capacity.
+type SweepPoint struct {
+	// Period is the analysed strict period of the constrained task.
+	Period ratio.Rat
+	// Valid reports whether every schedule check passed at this period.
+	Valid bool
+	// Total is the summed buffer capacity (meaningful when Valid).
+	Total int64
+	// Result is the full analysis at this period.
+	Result *Result
+}
+
+// SweepPeriods analyses the chain at every given period and returns the
+// throughput/buffer trade-off curve — the design-space exploration that
+// Stuijk et al. ([11] in the paper) perform for constant-rate SDF graphs,
+// here available for data-dependent chains. Tighter periods need larger
+// buffers; periods below a task's response-time limit are reported
+// infeasible rather than skipped.
+func SweepPeriods(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy) ([]SweepPoint, error) {
+	if len(periods) == 0 {
+		return nil, fmt.Errorf("capacity: empty period sweep")
+	}
+	out := make([]SweepPoint, 0, len(periods))
+	for _, tau := range periods {
+		res, err := Compute(g, taskgraph.Constraint{Task: task, Period: tau}, p)
+		if err != nil {
+			return nil, fmt.Errorf("capacity: period %v: %w", tau, err)
+		}
+		out = append(out, SweepPoint{
+			Period: tau,
+			Valid:  res.Valid,
+			Total:  res.TotalCapacity(),
+			Result: res,
+		})
+	}
+	return out, nil
+}
+
+// MinimalFeasiblePeriod returns the smallest period in the (ascending)
+// candidate list at which the chain is feasible, or an error if none is.
+func MinimalFeasiblePeriod(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy) (SweepPoint, error) {
+	pts, err := SweepPeriods(g, task, periods, p)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	for _, pt := range pts {
+		if pt.Valid {
+			return pt, nil
+		}
+	}
+	return SweepPoint{}, fmt.Errorf("capacity: no feasible period among %d candidates (fastest %v, slowest %v)",
+		len(periods), periods[0], periods[len(periods)-1])
+}

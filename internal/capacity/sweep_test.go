@@ -1,0 +1,78 @@
+package capacity
+
+import (
+	"testing"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+func sweepPair(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g, err := taskgraph.Pair("wa", r(1, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSweepPeriodsTradeoff(t *testing.T) {
+	g := sweepPair(t)
+	periods := []ratio.Rat{r(1, 2), r(1, 1), r(3, 2), r(3, 1), r(6, 1), r(12, 1)}
+	pts, err := SweepPeriods(g, "wb", periods, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(periods) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Feasibility: wb needs τ >= ρ(wb) = 1 and wa needs φ(wa) = τ·π̌/γ̂ =
+	// τ >= 1. So τ = 1/2 is infeasible, the rest feasible.
+	if pts[0].Valid {
+		t.Error("τ = 1/2 reported feasible")
+	}
+	for i := 1; i < len(pts); i++ {
+		if !pts[i].Valid {
+			t.Errorf("τ = %v reported infeasible", pts[i].Period)
+		}
+	}
+	// Capacity is non-increasing as the period relaxes.
+	for i := 2; i < len(pts); i++ {
+		if pts[i].Total > pts[i-1].Total {
+			t.Errorf("capacity grew when relaxing period: %v -> %v gives %d -> %d",
+				pts[i-1].Period, pts[i].Period, pts[i-1].Total, pts[i].Total)
+		}
+	}
+	// Known anchor: τ = 3 gives capacity 7.
+	if pts[3].Total != 7 {
+		t.Errorf("τ = 3 total = %d, want 7", pts[3].Total)
+	}
+	// A very relaxed period approaches the structural floor
+	// ⌊ρ-terms⌋ + p̂ + ĉ − 1 with the ρ term vanishing: 3 + 3 − 1 + small.
+	if last := pts[len(pts)-1].Total; last > 7 || last < 5 {
+		t.Errorf("relaxed-period capacity = %d, want within [5, 7]", last)
+	}
+}
+
+func TestMinimalFeasiblePeriod(t *testing.T) {
+	g := sweepPair(t)
+	periods := []ratio.Rat{r(1, 4), r(1, 2), r(1, 1), r(2, 1)}
+	pt, err := MinimalFeasiblePeriod(g, "wb", periods, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Period.Equal(r(1, 1)) {
+		t.Errorf("minimal feasible period = %v, want 1", pt.Period)
+	}
+	if _, err := MinimalFeasiblePeriod(g, "wb", []ratio.Rat{r(1, 8)}, PolicyEquation4); err == nil {
+		t.Error("infeasible-only sweep returned a period")
+	}
+}
+
+func TestSweepEmptyRejected(t *testing.T) {
+	g := sweepPair(t)
+	if _, err := SweepPeriods(g, "wb", nil, PolicyEquation4); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}

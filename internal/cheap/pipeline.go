@@ -1,0 +1,179 @@
+package cheap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vrdfcap/internal/quanta"
+)
+
+// Stage is one task of a concurrent pipeline. The first stage has no Cons
+// sequence (it is the source) and the last no Prod sequence (the sink).
+type Stage[T any] struct {
+	// Name identifies the stage in errors.
+	Name string
+	// Cons yields the consumption quantum of firing k on the input
+	// buffer; nil for the source.
+	Cons quanta.Sequence
+	// Prod yields the production quantum of firing k on the output
+	// buffer; nil for the sink.
+	Prod quanta.Sequence
+	// Work transforms the consumed values into produced values for
+	// firing k. It must return exactly the production quantum of the
+	// firing (checked); the sink's Work may return nil. A nil Work
+	// forwards min(len(in), prod quantum) values and pads with zero
+	// values, which suits rate-converting identity stages in tests.
+	Work func(firing int64, in []T) []T
+}
+
+// Pipeline executes task-graph chains as goroutines connected by C-HEAP
+// buffers.
+type Pipeline[T any] struct {
+	stages    []Stage[T]
+	buffers   []*Buffer[T]
+	sinkFired atomic.Int64
+}
+
+// SinkFired returns how many firings the sink has completed so far; safe to
+// call concurrently with Run (used to observe progress or its absence).
+func (p *Pipeline[T]) SinkFired() int64 { return p.sinkFired.Load() }
+
+// NewPipeline builds a pipeline from stages and the capacities of the
+// len(stages)-1 connecting buffers (typically the output of the capacity
+// analysis).
+func NewPipeline[T any](stages []Stage[T], capacities []int64) (*Pipeline[T], error) {
+	if len(stages) < 2 {
+		return nil, fmt.Errorf("cheap: pipeline needs at least two stages, got %d", len(stages))
+	}
+	if len(capacities) != len(stages)-1 {
+		return nil, fmt.Errorf("cheap: %d stages need %d capacities, got %d", len(stages), len(stages)-1, len(capacities))
+	}
+	if stages[0].Cons != nil {
+		return nil, fmt.Errorf("cheap: source stage %s must not consume", stages[0].Name)
+	}
+	if stages[len(stages)-1].Prod != nil {
+		return nil, fmt.Errorf("cheap: sink stage %s must not produce", stages[len(stages)-1].Name)
+	}
+	for i := 1; i < len(stages)-1; i++ {
+		if stages[i].Cons == nil || stages[i].Prod == nil {
+			return nil, fmt.Errorf("cheap: middle stage %s needs both quanta sequences", stages[i].Name)
+		}
+	}
+	p := &Pipeline[T]{stages: stages}
+	for i, c := range capacities {
+		b, err := NewBuffer[T](int(c))
+		if err != nil {
+			return nil, fmt.Errorf("cheap: buffer %d: %w", i, err)
+		}
+		p.buffers = append(p.buffers, b)
+	}
+	return p, nil
+}
+
+// Run executes the pipeline until the sink completes the given number of
+// firings, then shuts every stage down and returns the first error
+// encountered (nil on clean completion).
+//
+// Each stage follows the C-HEAP/VRDF protocol: acquire the input data and
+// the output space for the firing's quanta, run Work, commit the produced
+// data and release the consumed space. Acquisition order is inputs before
+// outputs, which is deadlock-equivalent to the simultaneous execution
+// condition on single-producer single-consumer chains.
+func (p *Pipeline[T]) Run(sinkFirings int64) error {
+	if sinkFirings <= 0 {
+		return fmt.Errorf("cheap: sink firings must be positive, got %d", sinkFirings)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		// Unblock everyone.
+		for _, b := range p.buffers {
+			b.Close()
+		}
+	}
+	for i := range p.stages {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := p.runStage(i, sinkFirings); err != nil && err != ErrClosed {
+				fail(fmt.Errorf("cheap: stage %s: %w", p.stages[i].Name, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func (p *Pipeline[T]) runStage(i int, sinkFirings int64) error {
+	s := p.stages[i]
+	var in, out *Buffer[T]
+	if i > 0 {
+		in = p.buffers[i-1]
+	}
+	if i < len(p.stages)-1 {
+		out = p.buffers[i]
+	}
+	isSink := out == nil
+	for k := int64(0); ; k++ {
+		if isSink && k >= sinkFirings {
+			// The sink is done: tear the pipeline down so upstream
+			// stages stop waiting for space.
+			for _, b := range p.buffers {
+				b.Close()
+			}
+			return nil
+		}
+		var consumed []T
+		if in != nil {
+			n := s.Cons.At(k)
+			vals, err := in.AcquireData(int(n))
+			if err != nil {
+				return err
+			}
+			consumed = vals
+		}
+		var prodN int
+		if out != nil {
+			prodN = int(s.Prod.At(k))
+			if err := out.AcquireSpace(prodN); err != nil {
+				return err
+			}
+		}
+		var produced []T
+		if s.Work != nil {
+			produced = s.Work(k, consumed)
+		} else if out != nil {
+			produced = forward(consumed, prodN)
+		}
+		if out != nil {
+			if len(produced) != prodN {
+				return fmt.Errorf("firing %d produced %d values, declared quantum %d", k, len(produced), prodN)
+			}
+			if err := out.CommitData(produced); err != nil {
+				return err
+			}
+		} else if len(produced) != 0 {
+			return fmt.Errorf("sink firing %d produced %d values", k, len(produced))
+		}
+		if in != nil {
+			if err := in.ReleaseSpace(len(consumed)); err != nil {
+				return err
+			}
+		}
+		if isSink {
+			p.sinkFired.Add(1)
+		}
+	}
+}
+
+// forward copies up to n consumed values and pads with zero values.
+func forward[T any](in []T, n int) []T {
+	out := make([]T, n)
+	copy(out, in)
+	return out
+}

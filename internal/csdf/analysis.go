@@ -1,0 +1,54 @@
+package csdf
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/minimize"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+// Analyze sizes the chain's buffers with the VRDF analysis. The analysis
+// sees only the quanta sets, not the phase order — the generality the DATE
+// 2008 paper trades for pattern knowledge.
+func (c *Chain) Analyze(con taskgraph.Constraint, p capacity.Policy) (*capacity.Result, error) {
+	return capacity.Compute(c.Graph, con, p)
+}
+
+// Verify checks a sizing against the exact cyclic workload the patterns
+// prescribe.
+func (c *Chain) Verify(sized *taskgraph.Graph, con taskgraph.Constraint, firings int64) (*sim.Verification, error) {
+	return sim.VerifyThroughput(sized, con, sim.VerifyOptions{
+		Firings:   firings,
+		Workloads: c.Workloads,
+		Validate:  true,
+	})
+}
+
+// PatternMinimalCapacities searches for the smallest capacities that
+// sustain the throughput constraint under the exact cyclic pattern — the
+// quantity a dedicated cyclo-static analysis ([15]) bounds statically. The
+// VRDF sizing is used as the (feasible) starting point, so the result also
+// certifies that Equation (4) is an upper bound for the pattern.
+func (c *Chain) PatternMinimalCapacities(con taskgraph.Constraint, firings int64) (map[string]int64, *capacity.Result, error) {
+	res, err := c.Analyze(con, capacity.PolicyEquation4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !res.Valid {
+		return nil, res, fmt.Errorf("csdf: chain infeasible: %v", res.Diagnostics)
+	}
+	upper := make(map[string]int64, len(res.Buffers))
+	names := make([]string, 0, len(res.Buffers))
+	for _, b := range res.Buffers {
+		upper[b.Buffer] = b.Capacity
+		names = append(names, b.Buffer)
+	}
+	check := minimize.ThroughputCheck(c.Graph, con, firings, []sim.Workloads{c.Workloads})
+	min, err := minimize.Search(names, upper, check)
+	if err != nil {
+		return nil, res, err
+	}
+	return min.Caps, res, nil
+}

@@ -1,0 +1,197 @@
+// Package csdf models Cyclo-Static Dataflow chains: transfer quanta that
+// vary per execution but follow a fixed, statically known cyclic pattern of
+// phases (Wiggers et al.'s RTAS 2007 setting, reference [15] of the DATE
+// 2008 paper).
+//
+// CSDF sits between constant-rate SDF and the paper's data-dependent VRDF:
+// the quanta change every firing, but the sequence is known at design time.
+// VRDF subsumes it — a pattern is just one admissible quanta sequence — so
+// this package derives the task graph (quanta sets = pattern values) and
+// the exact cyclic workload from the patterns, letting the VRDF capacity
+// analysis size the buffers and the simulator validate or empirically
+// minimise them against the *actual* pattern rather than the worst case.
+// The gap between Equation (4) (which only sees the sets) and the
+// pattern-aware empirical minimum quantifies what phase knowledge is worth.
+package csdf
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+// Pattern is the per-phase transfer quanta of one actor on one buffer; the
+// actor cycles through the phases, transferring Pattern[k mod len] in
+// firing k.
+type Pattern []int64
+
+// Validate checks the pattern: non-empty, no negative quanta, at least one
+// positive quantum.
+func (p Pattern) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("csdf: empty pattern")
+	}
+	sum := int64(0)
+	for i, v := range p {
+		if v < 0 {
+			return fmt.Errorf("csdf: negative quantum %d in phase %d", v, i)
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return fmt.Errorf("csdf: pattern transfers nothing over a full cycle")
+	}
+	return nil
+}
+
+// Sum returns the tokens transferred over one full cycle.
+func (p Pattern) Sum() int64 {
+	var s int64
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
+// Set returns the quanta set of the pattern's values — what the VRDF
+// analysis sees.
+func (p Pattern) Set() (taskgraph.QuantaSet, error) {
+	return taskgraph.NewQuantaSet([]int64(p)...)
+}
+
+// Sequence returns the exact cyclic firing sequence — what actually
+// executes.
+func (p Pattern) Sequence() quanta.Sequence {
+	return quanta.Cycle([]int64(p)...)
+}
+
+// Stage is one task of a CSDF chain.
+type Stage struct {
+	Name string
+	WCRT ratio.Rat
+}
+
+// Link is the buffer between consecutive stages with cyclo-static patterns
+// on both sides.
+type Link struct {
+	Prod Pattern
+	Cons Pattern
+}
+
+// Chain is a CSDF chain lowered onto the task-graph machinery.
+type Chain struct {
+	// Graph is the derived task graph (quanta sets from the patterns).
+	Graph *taskgraph.Graph
+	// Workloads is the exact cyclic workload the patterns prescribe.
+	Workloads sim.Workloads
+	// Phases maps each task to its phase count.
+	Phases map[string]int
+
+	links []Link
+}
+
+// BuildChain validates the patterns and lowers the chain. A task's phase
+// count is the length of its patterns; a middle task's consumption and
+// production patterns must agree on it (the actor steps through its phases
+// once per firing, on all its buffers together).
+func BuildChain(stages []Stage, links []Link) (*Chain, error) {
+	if len(stages) < 2 || len(links) != len(stages)-1 {
+		return nil, fmt.Errorf("csdf: %d stages need %d links, got %d", len(stages), len(stages)-1, len(links))
+	}
+	phases := make(map[string]int, len(stages))
+	record := func(task string, n int) error {
+		if prev, ok := phases[task]; ok && prev != n {
+			return fmt.Errorf("csdf: task %s has patterns of length %d and %d; an actor has one phase count", task, prev, n)
+		}
+		phases[task] = n
+		return nil
+	}
+	tgLinks := make([]taskgraph.Link, len(links))
+	for i, l := range links {
+		if err := l.Prod.Validate(); err != nil {
+			return nil, fmt.Errorf("csdf: link %d production: %w", i, err)
+		}
+		if err := l.Cons.Validate(); err != nil {
+			return nil, fmt.Errorf("csdf: link %d consumption: %w", i, err)
+		}
+		if err := record(stages[i].Name, len(l.Prod)); err != nil {
+			return nil, err
+		}
+		if err := record(stages[i+1].Name, len(l.Cons)); err != nil {
+			return nil, err
+		}
+		prodSet, err := l.Prod.Set()
+		if err != nil {
+			return nil, fmt.Errorf("csdf: link %d: %w", i, err)
+		}
+		consSet, err := l.Cons.Set()
+		if err != nil {
+			return nil, fmt.Errorf("csdf: link %d: %w", i, err)
+		}
+		tgLinks[i] = taskgraph.Link{Prod: prodSet, Cons: consSet}
+	}
+	tgStages := make([]taskgraph.Stage, len(stages))
+	for i, s := range stages {
+		tgStages[i] = taskgraph.Stage{Name: s.Name, WCRT: s.WCRT}
+		if _, ok := phases[s.Name]; !ok {
+			phases[s.Name] = 1
+		}
+	}
+	g, err := taskgraph.BuildChain(tgStages, tgLinks)
+	if err != nil {
+		return nil, err
+	}
+	w := make(sim.Workloads, len(links))
+	for i, l := range links {
+		w[g.Buffers()[i].DefaultName()] = sim.Workload{
+			Prod: l.Prod.Sequence(),
+			Cons: l.Cons.Sequence(),
+		}
+	}
+	return &Chain{Graph: g, Workloads: w, Phases: phases, links: links}, nil
+}
+
+// RepetitionVector returns the smallest positive firing counts per task
+// that return the chain to its initial token distribution: firings are
+// balanced over full pattern cycles (q(u)·Σprod/L(u) per firing on
+// average), and each count is a whole number of the task's phase cycles.
+func (c *Chain) RepetitionVector() (map[string]int64, error) {
+	tasks, buffers, err := c.Graph.Chain()
+	if err != nil {
+		return nil, err
+	}
+	// Cycle counts Q: Q(u)·Σprod = Q(v)·Σcons per buffer; propagate as
+	// exact rationals from the source, then scale to the smallest
+	// integer vector.
+	qr := make(map[string]ratio.Rat, len(tasks))
+	qr[tasks[0].Name] = ratio.One
+	for i := range buffers {
+		qr[tasks[i+1].Name] = qr[tasks[i].Name].
+			MulInt(c.links[i].Prod.Sum()).
+			DivInt(c.links[i].Cons.Sum())
+	}
+	lcm := int64(1)
+	for _, v := range qr {
+		lcm = ratio.LCM(lcm, v.Den())
+	}
+	q := make(map[string]int64, len(qr))
+	gcd := int64(0)
+	for name, v := range qr {
+		n := v.MulInt(lcm).Num()
+		q[name] = n
+		gcd = ratio.GCD(gcd, n)
+	}
+	if gcd > 1 {
+		for name := range q {
+			q[name] /= gcd
+		}
+	}
+	// Convert cycle counts to firing counts.
+	for name := range q {
+		q[name] *= int64(c.Phases[name])
+	}
+	return q, nil
+}

@@ -1,0 +1,244 @@
+package csdf
+
+import (
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+func r(n, d int64) ratio.Rat { return ratio.MustNew(n, d) }
+
+// downsampler builds a classic CSDF chain: a source emitting 2 per firing,
+// a two-phase downsampler consuming (2,2) and producing (1,0) — it emits
+// only every other firing — and a sink consuming 1.
+func downsampler(t *testing.T) *Chain {
+	t.Helper()
+	c, err := BuildChain(
+		[]Stage{
+			{Name: "src", WCRT: r(1, 4)},
+			{Name: "down", WCRT: r(1, 4)},
+			{Name: "snk", WCRT: r(1, 4)},
+		},
+		[]Link{
+			{Prod: Pattern{2}, Cons: Pattern{2, 2}},
+			{Prod: Pattern{1, 0}, Cons: Pattern{1}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPatternValidate(t *testing.T) {
+	if err := (Pattern{1, 0, 2}).Validate(); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	if err := (Pattern{}).Validate(); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if err := (Pattern{0, 0}).Validate(); err == nil {
+		t.Error("all-zero pattern accepted")
+	}
+	if err := (Pattern{1, -1}).Validate(); err == nil {
+		t.Error("negative quantum accepted")
+	}
+	if got := (Pattern{1, 0, 2}).Sum(); got != 3 {
+		t.Errorf("Sum = %d, want 3", got)
+	}
+}
+
+func TestPatternSetAndSequence(t *testing.T) {
+	p := Pattern{2, 3, 2}
+	set, err := p.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.String() != "{2,3}" {
+		t.Errorf("Set = %v", set)
+	}
+	seq := p.Sequence()
+	want := []int64{2, 3, 2, 2, 3, 2}
+	for k, w := range want {
+		if got := seq.At(int64(k)); got != w {
+			t.Errorf("At(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestBuildChainDerivesTaskGraph(t *testing.T) {
+	c := downsampler(t)
+	if c.Phases["src"] != 1 || c.Phases["down"] != 2 || c.Phases["snk"] != 1 {
+		t.Errorf("phases = %v", c.Phases)
+	}
+	b := c.Graph.Buffers()[1]
+	// The (1,0) production pattern becomes the quanta set {0,1}.
+	if b.Prod.String() != "{0,1}" {
+		t.Errorf("derived production set = %v", b.Prod)
+	}
+	if len(c.Workloads) != 2 {
+		t.Errorf("workloads = %d entries", len(c.Workloads))
+	}
+}
+
+func TestBuildChainRejectsPhaseMismatch(t *testing.T) {
+	_, err := BuildChain(
+		[]Stage{{Name: "a", WCRT: r(1, 1)}, {Name: "b", WCRT: r(1, 1)}, {Name: "c", WCRT: r(1, 1)}},
+		[]Link{
+			{Prod: Pattern{1}, Cons: Pattern{1, 1}},    // b has 2 phases here
+			{Prod: Pattern{1, 1, 1}, Cons: Pattern{1}}, // and 3 phases here
+		},
+	)
+	if err == nil {
+		t.Fatal("phase mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "phase count") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestBuildChainRejectsBadShapes(t *testing.T) {
+	if _, err := BuildChain(nil, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := BuildChain(
+		[]Stage{{Name: "a", WCRT: r(1, 1)}, {Name: "b", WCRT: r(1, 1)}},
+		[]Link{{Prod: Pattern{}, Cons: Pattern{1}}},
+	); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestRepetitionVectorDownsampler(t *testing.T) {
+	c := downsampler(t)
+	q, err := c.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per cycle: src emits 2, down consumes 4 per cycle (2 firings) and
+	// emits 1, snk consumes 1. Cycle counts: Q(src)=2, Q(down)=1,
+	// Q(snk)=1 -> firings: src 2, down 2, snk 1.
+	want := map[string]int64{"src": 2, "down": 2, "snk": 1}
+	for task, w := range want {
+		if q[task] != w {
+			t.Errorf("q(%s) = %d, want %d", task, q[task], w)
+		}
+	}
+}
+
+func TestAnalyzeAndVerifyDownsamplerSourceConstrained(t *testing.T) {
+	// The downsampler's (1,0) production pattern contains a zero phase,
+	// which §4.2 forbids under a sink constraint but §4.4 permits under
+	// a source constraint — so the CSDF downsampler is analysed with
+	// the source pinned (the typical capture pipeline anyway).
+	c := downsampler(t)
+	con := taskgraph.Constraint{Task: "src", Period: r(1, 1)}
+	res, err := c.Analyze(con, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("downsampler chain infeasible: %v", res.Diagnostics)
+	}
+	sized, err := capacity.Sized(c.Graph, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Verify(sized, con, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Errorf("cyclic workload not sustained: %s", v.Reason)
+	}
+}
+
+// filterChain is a fully positive two-phase chain suitable for sink
+// constraints: src emits 2, a filter consumes (3,1) and produces (1,3), the
+// sink consumes 2.
+func filterChain(t *testing.T) *Chain {
+	t.Helper()
+	c, err := BuildChain(
+		[]Stage{
+			{Name: "src", WCRT: r(1, 8)},
+			{Name: "fir", WCRT: r(1, 8)},
+			{Name: "snk", WCRT: r(1, 8)},
+		},
+		[]Link{
+			{Prod: Pattern{2}, Cons: Pattern{3, 1}},
+			{Prod: Pattern{1, 3}, Cons: Pattern{2}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAnalyzeAndVerifyFilterSinkConstrained(t *testing.T) {
+	c := filterChain(t)
+	con := taskgraph.Constraint{Task: "snk", Period: r(1, 1)}
+	res, err := c.Analyze(con, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("filter chain infeasible: %v", res.Diagnostics)
+	}
+	sized, err := capacity.Sized(c.Graph, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Verify(sized, con, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Errorf("cyclic workload not sustained: %s", v.Reason)
+	}
+}
+
+func TestPatternMinimalCapacities(t *testing.T) {
+	// Pattern knowledge can only shrink the requirement: the minimum
+	// under the exact cycle is bounded by Equation (4)'s sizing, and the
+	// gap quantifies what phase knowledge is worth.
+	c := filterChain(t)
+	con := taskgraph.Constraint{Task: "snk", Period: r(1, 1)}
+	min, res, err := c.PatternMinimalCapacities(con, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minTotal int64
+	for _, v := range min {
+		minTotal += v
+	}
+	if minTotal > res.TotalCapacity() {
+		t.Errorf("pattern minimum %d exceeds Equation (4) total %d", minTotal, res.TotalCapacity())
+	}
+	if minTotal <= 0 {
+		t.Errorf("degenerate pattern minimum %d", minTotal)
+	}
+}
+
+func TestZeroProductionPhaseSinkConstrained(t *testing.T) {
+	// A production pattern containing a zero phase makes the chain
+	// infeasible under a sink constraint (§4.2: only consumption may be
+	// zero), and the analysis must say so rather than size it.
+	c, err := BuildChain(
+		[]Stage{{Name: "a", WCRT: r(1, 8)}, {Name: "b", WCRT: r(1, 8)}},
+		[]Link{{Prod: Pattern{1, 0}, Cons: Pattern{1}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Analyze(taskgraph.Constraint{Task: "b", Period: r(1, 1)}, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid {
+		t.Error("zero-production-phase chain accepted under sink constraint")
+	}
+}

@@ -1,0 +1,245 @@
+package exact
+
+import (
+	"fmt"
+	"strings"
+
+	"vrdfcap/internal/taskgraph"
+)
+
+// ChainWitness is a deadlock counterexample for a chain: per task, the
+// committed quanta of its firings in order. For a middle task the k-th
+// entries of In and Out belong to the same firing (the coupled choice a
+// data-dependent task makes).
+type ChainWitness struct {
+	// In[task] are the consumption quanta per firing ("" for the source).
+	In map[string][]int64
+	// Out[task] are the production quanta per firing ("" for the sink).
+	Out map[string][]int64
+}
+
+// chainTask mirrors taskState for a task with up to one input and one
+// output buffer: the committed quanta of the next firing and whether the
+// task is mid-firing.
+type chainTask struct {
+	qin, qout int64 // 0 when the side does not exist
+	inFlight  bool
+}
+
+// chainState is the buffer occupancies plus every task's position. Encoded
+// as a string key for map storage (chains are short).
+type chainState struct {
+	d     []int64 // data tokens per buffer
+	s     []int64 // space tokens per buffer
+	tasks []chainTask
+}
+
+func (cs *chainState) key() string {
+	var b strings.Builder
+	for i := range cs.d {
+		fmt.Fprintf(&b, "%d,%d;", cs.d[i], cs.s[i])
+	}
+	for _, t := range cs.tasks {
+		fmt.Fprintf(&b, "%d,%d,%v;", t.qin, t.qout, t.inFlight)
+	}
+	return b.String()
+}
+
+func (cs *chainState) clone() chainState {
+	n := chainState{
+		d:     append([]int64(nil), cs.d...),
+		s:     append([]int64(nil), cs.s...),
+		tasks: append([]chainTask(nil), cs.tasks...),
+	}
+	return n
+}
+
+// ChainDeadlockFree exhaustively checks a sized chain against every
+// sequence of coupled per-firing quanta choices. Every buffer must have a
+// positive capacity. The adversary commits a task's next (consumption,
+// production) quantum pair when its previous firing finishes — the coupled
+// information structure of real data-dependent tasks, where one frame
+// decides both what is read and what is written.
+//
+// The state space is the product of the buffer occupancies and task
+// commitments; a guard refuses graphs beyond ~2 million states.
+func ChainDeadlockFree(g *taskgraph.Graph, maxStates int) (bool, *ChainWitness, error) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	tasks, buffers, err := g.Chain()
+	if err != nil {
+		return false, nil, err
+	}
+	for _, b := range buffers {
+		if b.Capacity <= 0 {
+			return false, nil, fmt.Errorf("exact: buffer %s has no capacity", b.DefaultName())
+		}
+	}
+	type pick struct{ qin, qout int64 }
+	// Per task: the admissible coupled choices (positive quanta only;
+	// zero-quantum firings cannot affect stuck-state reachability).
+	choices := make([][]pick, len(tasks))
+	for i := range tasks {
+		var ins, outs []int64
+		if i > 0 {
+			ins = positive(buffers[i-1].Cons)
+		} else {
+			ins = []int64{0}
+		}
+		if i < len(buffers) {
+			outs = positive(buffers[i].Prod)
+		} else {
+			outs = []int64{0}
+		}
+		for _, qi := range ins {
+			for _, qo := range outs {
+				choices[i] = append(choices[i], pick{qi, qo})
+			}
+		}
+	}
+
+	// Refuse obviously hopeless searches up front: the state count is
+	// bounded by the product of per-buffer occupancy counts and
+	// per-task commitment/phase counts.
+	est := 1.0
+	for _, b := range buffers {
+		est *= float64(b.Capacity+1) * float64(b.Capacity+2) / 2
+	}
+	for i := range tasks {
+		est *= float64(2 * len(choices[i]))
+	}
+	if est > float64(maxStates) {
+		return false, nil, fmt.Errorf("exact: chain state space (~%.3g states) exceeds the %d-state guard; use the analytical bound for graphs this large", est, maxStates)
+	}
+
+	type edge struct {
+		prevKey string
+		task    int
+		p       pick
+		hasPick bool
+		valid   bool
+	}
+	parent := make(map[string]edge)
+	var queue []chainState
+	push := func(next chainState, fromKey string, e edge) {
+		k := next.key()
+		if _, seen := parent[k]; seen {
+			return
+		}
+		e.prevKey = fromKey
+		e.valid = true
+		parent[k] = e
+		queue = append(queue, next)
+	}
+	// Seed: every combination of initial commitments. To avoid an
+	// exponential seed set, commit tasks one at a time through synthetic
+	// intermediate states (qin = qout = -1 marks "uncommitted").
+	seed := chainState{
+		d:     make([]int64, len(buffers)),
+		s:     make([]int64, len(buffers)),
+		tasks: make([]chainTask, len(tasks)),
+	}
+	for i, b := range buffers {
+		seed.s[i] = b.Capacity
+	}
+	for i := range seed.tasks {
+		seed.tasks[i] = chainTask{qin: -1, qout: -1}
+	}
+	rootKey := "root"
+	parent[rootKey] = edge{}
+	push(seed, rootKey, edge{})
+
+	guard := 0
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		k := st.key()
+		guard++
+		if guard > maxStates {
+			return false, nil, fmt.Errorf("exact: chain state space exceeds %d states", maxStates)
+		}
+
+		// If some task is uncommitted, branch its first commitment and
+		// defer everything else.
+		uncommitted := -1
+		for i, t := range st.tasks {
+			if t.qin < 0 {
+				uncommitted = i
+				break
+			}
+		}
+		if uncommitted >= 0 {
+			for _, p := range choices[uncommitted] {
+				next := st.clone()
+				next.tasks[uncommitted] = chainTask{qin: p.qin, qout: p.qout}
+				push(next, k, edge{task: uncommitted, p: p, hasPick: true})
+			}
+			continue
+		}
+
+		progress := false
+		for i, t := range st.tasks {
+			if !t.inFlight {
+				// Start: needs input data and output space.
+				okIn := i == 0 || st.d[i-1] >= t.qin
+				okOut := i == len(buffers) || st.s[i] >= t.qout
+				if okIn && okOut {
+					progress = true
+					next := st.clone()
+					if i > 0 {
+						next.d[i-1] -= t.qin
+					}
+					if i < len(buffers) {
+						next.s[i] -= t.qout
+					}
+					next.tasks[i].inFlight = true
+					push(next, k, edge{})
+				}
+				continue
+			}
+			// Finish: produce data, release space, recommit.
+			progress = true
+			for _, p := range choices[i] {
+				next := st.clone()
+				if i > 0 {
+					next.s[i-1] += t.qin
+				}
+				if i < len(buffers) {
+					next.d[i] += t.qout
+				}
+				next.tasks[i] = chainTask{qin: p.qin, qout: p.qout}
+				push(next, k, edge{task: i, p: p, hasPick: true})
+			}
+		}
+
+		if !progress {
+			w := &ChainWitness{In: map[string][]int64{}, Out: map[string][]int64{}}
+			curKey := k
+			for {
+				e := parent[curKey]
+				if !e.valid {
+					break
+				}
+				if e.hasPick {
+					name := tasks[e.task].Name
+					if e.p.qin > 0 {
+						w.In[name] = append(w.In[name], e.p.qin)
+					}
+					if e.p.qout > 0 {
+						w.Out[name] = append(w.Out[name], e.p.qout)
+					}
+				}
+				curKey = e.prevKey
+			}
+			for _, seq := range w.In {
+				reverse(seq)
+			}
+			for _, seq := range w.Out {
+				reverse(seq)
+			}
+			return false, w, nil
+		}
+	}
+	return true, nil, nil
+}

@@ -1,0 +1,226 @@
+// Package exact computes, by exhaustive state-space search, the *exact*
+// minimum buffer capacity that keeps a producer–consumer pair deadlock-free
+// for every admissible sequence of transfer quanta — the quantity the
+// paper's Figure-1 discussion reasons about by example ("if the consumption
+// quantum equals two in every task execution, then the minimum buffer
+// capacity for deadlock-free execution is four").
+//
+// The search plays an adaptive adversary: at every state it may pick any
+// quantum from the declared sets for the next producer or consumer firing.
+// For the safety property checked here (reachability of a stuck state) the
+// adaptive adversary is exactly as strong as the worst fixed sequence — the
+// choices made along a deadlocking path *are* a fixed sequence — so the
+// result is the true minimum over all data-dependent behaviours, unlike
+// sampling-based search (internal/minimize), which can only refute.
+//
+// States are untimed: timing cannot avert a deadlock that token counting
+// allows, because starting later never adds tokens (and the eager schedule
+// reaches every token-reachable state). A found deadlock comes with a
+// witness — the per-firing quanta sequences that reproduce it in the timed
+// simulator.
+package exact
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/taskgraph"
+)
+
+// Witness is an adversarial counterexample: feeding these sequences to the
+// pair (producer quanta and consumer quanta per firing, in order) drives it
+// into the deadlock.
+type Witness struct {
+	Prod []int64
+	Cons []int64
+}
+
+// taskState is one task's position: the quantum of the firing it is
+// committed to next (Pending — chosen by the adversary when the previous
+// firing finished, exactly as a fixed sequence fixes it), or the quantum it
+// is currently executing (InFlight).
+type taskState struct {
+	q        int64
+	inFlight bool
+}
+
+// state is (data tokens, space tokens, producer state, consumer state).
+// Space tokens are implied by the invariant d + s + inflight == capacity
+// but kept explicit for clarity.
+type state struct {
+	d, s int64
+	p, c taskState
+}
+
+// DeadlockFree reports whether the pair with the given capacity is
+// deadlock-free under every quanta sequence, returning a witness otherwise.
+//
+// The adversary commits each firing's quantum when the previous firing of
+// that task finishes — before knowing whether it will ever become startable
+// — which is exactly the information structure of a fixed data-dependent
+// sequence. (An adversary that could re-choose at start time would be
+// weaker: it could escape deadlocks a fixed sequence runs into.) A state is
+// stuck when both tasks are idle and their committed quanta exceed the
+// available tokens. Zero-quantum firings transfer nothing and cannot
+// unstick the peer, so the adversary never needs them and they are omitted.
+func DeadlockFree(prod, cons taskgraph.QuantaSet, capacity int64) (bool, *Witness, error) {
+	if !prod.IsValid() || !cons.IsValid() {
+		return false, nil, fmt.Errorf("exact: invalid quanta sets")
+	}
+	if capacity <= 0 {
+		return false, nil, fmt.Errorf("exact: capacity must be positive, got %d", capacity)
+	}
+	prodVals := positive(prod)
+	consVals := positive(cons)
+	// The state space is O(capacity² · |P| · |C|); refuse blow-ups (the
+	// MP3 chain's first buffer would need ~10⁸ states — use the
+	// analytical bound there, that is what it is for).
+	est := (capacity + 1) * (capacity + 2) * 2 * int64(len(prodVals)) * int64(len(consVals))
+	if est > 20_000_000 {
+		return false, nil, fmt.Errorf("exact: ~%d states exceed the search guard; use the Equation-4 bound for pairs this large", est)
+	}
+
+	type edge struct {
+		prev     state
+		prodPick int64 // quantum committed for the producer (0 = none)
+		consPick int64 // quantum committed for the consumer (0 = none)
+		valid    bool
+	}
+	parent := make(map[state]edge)
+	var queue []state
+	push := func(next state, from state, e edge) {
+		if _, seen := parent[next]; seen {
+			return
+		}
+		e.prev = from
+		e.valid = true
+		parent[next] = e
+		queue = append(queue, next)
+	}
+
+	// Initial states: the adversary commits the first quantum of each
+	// task. The synthetic root lets witness reconstruction terminate.
+	root := state{d: -1, s: -1}
+	parent[root] = edge{}
+	for _, qp := range prodVals {
+		for _, qc := range consVals {
+			push(state{
+				d: 0, s: capacity,
+				p: taskState{q: qp}, c: taskState{q: qc},
+			}, root, edge{prodPick: qp, consPick: qc})
+		}
+	}
+
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+
+		progress := false
+		// Producer start: its committed quantum fits in the space.
+		if !st.p.inFlight && st.s >= st.p.q {
+			progress = true
+			next := st
+			next.s -= st.p.q
+			next.p.inFlight = true
+			push(next, st, edge{})
+		}
+		// Producer finish: data appears; adversary commits the next
+		// production quantum.
+		if st.p.inFlight {
+			progress = true
+			for _, qp := range prodVals {
+				next := st
+				next.d += st.p.q
+				next.p = taskState{q: qp}
+				push(next, st, edge{prodPick: qp})
+			}
+		}
+		// Consumer start.
+		if !st.c.inFlight && st.d >= st.c.q {
+			progress = true
+			next := st
+			next.d -= st.c.q
+			next.c.inFlight = true
+			push(next, st, edge{})
+		}
+		// Consumer finish: space returns; adversary commits the next
+		// consumption quantum.
+		if st.c.inFlight {
+			progress = true
+			for _, qc := range consVals {
+				next := st
+				next.s += st.c.q
+				next.c = taskState{q: qc}
+				push(next, st, edge{consPick: qc})
+			}
+		}
+
+		if !progress {
+			// Both idle with unstartable commitments: deadlock.
+			w := &Witness{}
+			cur := st
+			for {
+				e := parent[cur]
+				if !e.valid {
+					break
+				}
+				if e.prodPick > 0 {
+					w.Prod = append(w.Prod, e.prodPick)
+				}
+				if e.consPick > 0 {
+					w.Cons = append(w.Cons, e.consPick)
+				}
+				cur = e.prev
+			}
+			reverse(w.Prod)
+			reverse(w.Cons)
+			return false, w, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// MinCapacity returns the exact minimum deadlock-free capacity of the pair,
+// searching upwards from the largest single transfer. The untimed limit of
+// Equation (4), π̂ + γ̂ − 1, is a guaranteed-sufficient upper bound, so the
+// search always terminates.
+func MinCapacity(prod, cons taskgraph.QuantaSet) (int64, error) {
+	if !prod.IsValid() || !cons.IsValid() {
+		return 0, fmt.Errorf("exact: invalid quanta sets")
+	}
+	lo := prod.Max()
+	if c := cons.Max(); c > lo {
+		lo = c
+	}
+	hi := prod.Max() + cons.Max() - 1
+	for z := lo; z <= hi; z++ {
+		ok, _, err := DeadlockFree(prod, cons, z)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return z, nil
+		}
+	}
+	// Unreachable if the upper bound argument holds; keep a defensive
+	// return for malformed inputs.
+	return 0, fmt.Errorf("exact: no deadlock-free capacity up to %d; this contradicts the Equation-4 bound", hi)
+}
+
+// positive returns the set's positive members (zero-quantum firings cannot
+// affect reachability of a stuck state).
+func positive(q taskgraph.QuantaSet) []int64 {
+	vals := q.Values()
+	out := vals[:0:0]
+	for _, v := range vals {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func reverse(s []int64) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,146 @@
+// Package graphgen generates random — but analysable — chain task graphs
+// for fuzzing and ablation studies.
+//
+// Generated chains are feasible by construction: response times are drawn
+// as a fraction of each task's minimal start distance φ, which is computed
+// the same way the capacity analysis propagates it (§4.3 of the paper for
+// sink-constrained chains, §4.4 for source-constrained ones). Setting
+// Infeasible draws one task's response time beyond its φ instead, for
+// negative testing.
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+// Config controls generation. The zero value is invalid; use Defaults.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// MinTasks and MaxTasks bound the chain length (inclusive).
+	MinTasks, MaxTasks int
+	// MaxQuantum bounds individual transfer quanta (values are drawn
+	// from [1, MaxQuantum]).
+	MaxQuantum int64
+	// MaxSetSize bounds the number of members per quanta set; sets of
+	// size 1 (constant rates) occur naturally.
+	MaxSetSize int
+	// ZeroConsumption, when true, sometimes adds 0 to consumption
+	// quanta sets (sink-constrained chains only, per §4.2).
+	ZeroConsumption bool
+	// SourceConstrained places the throughput constraint on the source
+	// instead of the sink.
+	SourceConstrained bool
+	// Infeasible draws one task's response time beyond its minimal
+	// start distance, so the analysis must flag the chain.
+	Infeasible bool
+}
+
+// Defaults returns a reasonable fuzzing configuration for the given seed.
+func Defaults(seed int64) Config {
+	return Config{
+		Seed:       seed,
+		MinTasks:   2,
+		MaxTasks:   5,
+		MaxQuantum: 8,
+		MaxSetSize: 3,
+	}
+}
+
+// Random generates a chain and its throughput constraint.
+func Random(cfg Config) (*taskgraph.Graph, taskgraph.Constraint, error) {
+	if cfg.MinTasks < 2 || cfg.MaxTasks < cfg.MinTasks {
+		return nil, taskgraph.Constraint{}, fmt.Errorf("graphgen: need 2 <= MinTasks <= MaxTasks, got %d..%d", cfg.MinTasks, cfg.MaxTasks)
+	}
+	if cfg.MaxQuantum < 1 || cfg.MaxSetSize < 1 {
+		return nil, taskgraph.Constraint{}, fmt.Errorf("graphgen: MaxQuantum and MaxSetSize must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.MinTasks + rng.Intn(cfg.MaxTasks-cfg.MinTasks+1)
+
+	set := func(allowZero bool) taskgraph.QuantaSet {
+		size := 1 + rng.Intn(cfg.MaxSetSize)
+		vals := make([]int64, 0, size+1)
+		for len(vals) < size {
+			vals = append(vals, 1+rng.Int63n(cfg.MaxQuantum))
+		}
+		if allowZero && rng.Intn(4) == 0 {
+			vals = append(vals, 0)
+		}
+		return taskgraph.MustQuanta(vals...)
+	}
+
+	links := make([]taskgraph.Link, n-1)
+	for i := range links {
+		prodZero := cfg.SourceConstrained && rng.Intn(4) == 0
+		consZero := cfg.ZeroConsumption && !cfg.SourceConstrained
+		links[i] = taskgraph.Link{
+			Prod: set(prodZero),
+			Cons: set(consZero),
+		}
+	}
+
+	// Propagate φ from the constrained end with τ = 1, exactly as the
+	// analysis will, then draw response times as fractions of φ.
+	tau := ratio.One
+	phi := make([]ratio.Rat, n)
+	if cfg.SourceConstrained {
+		phi[0] = tau
+		for i := 0; i < n-1; i++ {
+			mu := phi[i].DivInt(links[i].Prod.Max())
+			phi[i+1] = mu.MulInt(positiveMin(links[i].Cons))
+		}
+	} else {
+		phi[n-1] = tau
+		for i := n - 2; i >= 0; i-- {
+			mu := phi[i+1].DivInt(links[i].Cons.Max())
+			phi[i] = mu.MulInt(positiveMin(links[i].Prod))
+		}
+	}
+
+	slowIdx := -1
+	if cfg.Infeasible {
+		slowIdx = rng.Intn(n)
+	}
+	stages := make([]taskgraph.Stage, n)
+	for i := range stages {
+		// ρ = φ · num/8 with num in [1, 8]: feasible (ρ ≤ φ); the
+		// infeasible task gets ρ = φ · 9/8 instead.
+		num := int64(1 + rng.Intn(8))
+		if i == slowIdx {
+			num = 9
+		}
+		stages[i] = taskgraph.Stage{
+			Name: fmt.Sprintf("t%d", i),
+			WCRT: phi[i].MulInt(num).DivInt(8),
+		}
+	}
+
+	g, err := taskgraph.BuildChain(stages, links)
+	if err != nil {
+		return nil, taskgraph.Constraint{}, err
+	}
+	task := stages[n-1].Name
+	if cfg.SourceConstrained {
+		task = stages[0].Name
+	}
+	return g, taskgraph.Constraint{Task: task, Period: tau}, nil
+}
+
+// positiveMin returns the set's minimum, skipping a zero member: the φ
+// propagation divides by it, and zero quanta do not constrain rates.
+func positiveMin(q taskgraph.QuantaSet) int64 {
+	m := q.Min()
+	if m == 0 {
+		for _, v := range q.Values() {
+			if v > 0 {
+				return v
+			}
+		}
+	}
+	return m
+}

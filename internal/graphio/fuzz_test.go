@@ -1,0 +1,47 @@
+package graphio
+
+import (
+	"testing"
+)
+
+// FuzzDecodeText checks that arbitrary input never panics the text parser
+// and that every accepted document re-encodes and re-parses to the same
+// shape. Run with `go test -fuzz FuzzDecodeText ./internal/graphio` for a
+// real campaign; the seeds below run as part of the normal test suite.
+func FuzzDecodeText(f *testing.F) {
+	f.Add("task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod 1 cons 1")
+	f.Add(mp3Text)
+	f.Add("task a wcrt 1/0")
+	f.Add("buffer x -> y prod {1,2} cons 2..4 cap 9 bytes 4")
+	f.Add("constraint z period 3.25")
+	f.Add("# only a comment\n\n")
+	f.Add("task \x00 wcrt 1")
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, c, err := DecodeText([]byte(doc))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := EncodeText(g, c)
+		g2, c2, err := DecodeText(out)
+		if err != nil {
+			t.Fatalf("re-parse of encoded form failed: %v\noriginal: %q\nencoded: %q", err, doc, out)
+		}
+		if len(g2.Tasks()) != len(g.Tasks()) || len(g2.Buffers()) != len(g.Buffers()) {
+			t.Fatalf("round trip changed shape for %q", doc)
+		}
+		if (c == nil) != (c2 == nil) {
+			t.Fatalf("round trip changed constraint presence for %q", doc)
+		}
+	})
+}
+
+// FuzzDecodeAny checks the format sniffer against arbitrary bytes.
+func FuzzDecodeAny(f *testing.F) {
+	f.Add([]byte(`{"tasks":[{"name":"a","wcrt":"1"}],"buffers":[]}`))
+	f.Add([]byte("task a wcrt 1"))
+	f.Add([]byte("{"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = DecodeAny(data) // must not panic
+	})
+}

@@ -1,0 +1,196 @@
+// Package graphio reads and writes task graphs: a JSON document format for
+// tools and tests, and Graphviz DOT export for task graphs and VRDF graphs.
+//
+// The JSON format is deliberately small:
+//
+//	{
+//	  "tasks":   [{"name": "vBR", "wcrt": "32/625"}, ...],
+//	  "buffers": [{"producer": "vBR", "consumer": "vMP3",
+//	               "prod": [2048], "cons": [96, 960], "capacity": 0}, ...],
+//	  "constraint": {"task": "vDAC", "period": "1/44100"}
+//	}
+//
+// Times are exact rationals in string form ("1/44100", "0.0227", "3");
+// quanta are arrays of non-negative integers.
+package graphio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+	"vrdfcap/internal/vrdf"
+)
+
+// TaskJSON is the JSON shape of a task.
+type TaskJSON struct {
+	Name string    `json:"name"`
+	WCRT ratio.Rat `json:"wcrt"`
+}
+
+// BufferJSON is the JSON shape of a buffer.
+type BufferJSON struct {
+	Name     string  `json:"name,omitempty"`
+	Producer string  `json:"producer"`
+	Consumer string  `json:"consumer"`
+	Prod     []int64 `json:"prod"`
+	Cons     []int64 `json:"cons"`
+	Capacity int64   `json:"capacity,omitempty"`
+	// ContainerBytes optionally sizes one container for memory
+	// reporting.
+	ContainerBytes int64 `json:"container_bytes,omitempty"`
+}
+
+// ConstraintJSON is the JSON shape of a throughput constraint.
+type ConstraintJSON struct {
+	Task   string    `json:"task"`
+	Period ratio.Rat `json:"period"`
+}
+
+// Document is a serialisable task graph plus optional constraint.
+type Document struct {
+	Tasks      []TaskJSON      `json:"tasks"`
+	Buffers    []BufferJSON    `json:"buffers"`
+	Constraint *ConstraintJSON `json:"constraint,omitempty"`
+}
+
+// FromGraph builds a Document from a graph and optional constraint.
+func FromGraph(g *taskgraph.Graph, c *taskgraph.Constraint) *Document {
+	doc := &Document{}
+	for _, t := range g.Tasks() {
+		doc.Tasks = append(doc.Tasks, TaskJSON{Name: t.Name, WCRT: t.WCRT})
+	}
+	for _, b := range g.Buffers() {
+		doc.Buffers = append(doc.Buffers, BufferJSON{
+			Name:           b.Name,
+			Producer:       b.Producer,
+			Consumer:       b.Consumer,
+			Prod:           b.Prod.Values(),
+			Cons:           b.Cons.Values(),
+			Capacity:       b.Capacity,
+			ContainerBytes: b.ContainerBytes,
+		})
+	}
+	if c != nil {
+		doc.Constraint = &ConstraintJSON{Task: c.Task, Period: c.Period}
+	}
+	return doc
+}
+
+// ToGraph reconstructs the graph (and constraint, if present) from a
+// Document.
+func (doc *Document) ToGraph() (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	g := taskgraph.New()
+	for _, t := range doc.Tasks {
+		if _, err := g.AddTask(t.Name, t.WCRT); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, b := range doc.Buffers {
+		prod, err := taskgraph.NewQuantaSet(b.Prod...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphio: buffer %s->%s prod: %w", b.Producer, b.Consumer, err)
+		}
+		cons, err := taskgraph.NewQuantaSet(b.Cons...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphio: buffer %s->%s cons: %w", b.Producer, b.Consumer, err)
+		}
+		_, err = g.AddBuffer(taskgraph.Buffer{
+			Name:           b.Name,
+			Producer:       b.Producer,
+			Consumer:       b.Consumer,
+			Prod:           prod,
+			Cons:           cons,
+			Capacity:       b.Capacity,
+			ContainerBytes: b.ContainerBytes,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var c *taskgraph.Constraint
+	if doc.Constraint != nil {
+		c = &taskgraph.Constraint{Task: doc.Constraint.Task, Period: doc.Constraint.Period}
+		if err := c.Validate(g); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, c, nil
+}
+
+// Encode serialises a graph (and optional constraint) to indented JSON.
+func Encode(g *taskgraph.Graph, c *taskgraph.Constraint) ([]byte, error) {
+	return json.MarshalIndent(FromGraph(g, c), "", "  ")
+}
+
+// Decode parses JSON into a graph and optional constraint.
+func Decode(data []byte) (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("graphio: %w", err)
+	}
+	return doc.ToGraph()
+}
+
+// WriteDOT renders a task graph in Graphviz DOT: tasks as boxes annotated
+// with κ, buffers as edges annotated with ξ/λ and capacity.
+func WriteDOT(w io.Writer, g *taskgraph.Graph) error {
+	if _, err := fmt.Fprintln(w, "digraph taskgraph {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=LR; node [shape=box];"); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(g.Tasks()))
+	for _, t := range g.Tasks() {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := g.Task(n)
+		if _, err := fmt.Fprintf(w, "  %q [label=\"%s\\nκ=%s\"];\n", t.Name, t.Name, t.WCRT); err != nil {
+			return err
+		}
+	}
+	for _, b := range g.Buffers() {
+		label := fmt.Sprintf("ξ=%s λ=%s", b.Prod, b.Cons)
+		if b.Capacity > 0 {
+			label += fmt.Sprintf(" ζ=%d", b.Capacity)
+		}
+		if _, err := fmt.Fprintf(w, "  %q -> %q [label=%q];\n", b.Producer, b.Consumer, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteVRDFDOT renders a VRDF graph in DOT: actors as circles annotated
+// with ρ, edges annotated with π/γ and initial tokens δ.
+func WriteVRDFDOT(w io.Writer, g *vrdf.Graph) error {
+	if _, err := fmt.Fprintln(w, "digraph vrdf {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=LR; node [shape=ellipse];"); err != nil {
+		return err
+	}
+	for _, a := range g.Actors() {
+		if _, err := fmt.Fprintf(w, "  %q [label=\"%s\\nρ=%s\"];\n", a.Name, a.Name, a.Rho); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		label := fmt.Sprintf("%s\\nπ=%s γ=%s", e.Name, e.Prod, e.Cons)
+		if e.Initial > 0 {
+			label += fmt.Sprintf(" δ=%d", e.Initial)
+		}
+		if _, err := fmt.Fprintf(w, "  %q -> %q [label=%q];\n", e.Src, e.Dst, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,135 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/mp3"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+	"vrdfcap/internal/vrdf"
+)
+
+func mp3Doc(t *testing.T) (*taskgraph.Graph, taskgraph.Constraint) {
+	t.Helper()
+	g, err := mp3.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, mp3.Constraint()
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, c := mp3Doc(t)
+	g.Buffers()[0].Capacity = 6015
+	data, err := Encode(g, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, c2, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v\n%s", err, data)
+	}
+	if c2 == nil || c2.Task != c.Task || !c2.Period.Equal(c.Period) {
+		t.Errorf("constraint round trip: %+v", c2)
+	}
+	if len(g2.Tasks()) != len(g.Tasks()) || len(g2.Buffers()) != len(g.Buffers()) {
+		t.Fatalf("shape lost: %d tasks, %d buffers", len(g2.Tasks()), len(g2.Buffers()))
+	}
+	for _, orig := range g.Tasks() {
+		got := g2.Task(orig.Name)
+		if got == nil || !got.WCRT.Equal(orig.WCRT) {
+			t.Errorf("task %s lost or altered", orig.Name)
+		}
+	}
+	for i, orig := range g.Buffers() {
+		got := g2.Buffers()[i]
+		if !got.Prod.Equal(orig.Prod) || !got.Cons.Equal(orig.Cons) || got.Capacity != orig.Capacity {
+			t.Errorf("buffer %s altered", orig.DefaultName())
+		}
+	}
+}
+
+func TestEncodeWithoutConstraint(t *testing.T) {
+	g, _ := mp3Doc(t)
+	data, err := Encode(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "constraint") {
+		t.Error("nil constraint serialised")
+	}
+	_, c, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Error("constraint materialised from nothing")
+	}
+}
+
+func TestDecodeRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"empty quanta":   `{"tasks":[{"name":"a","wcrt":"1"},{"name":"b","wcrt":"1"}],"buffers":[{"producer":"a","consumer":"b","prod":[],"cons":[1]}]}`,
+		"zero wcrt":      `{"tasks":[{"name":"a","wcrt":"0"}],"buffers":[]}`,
+		"unknown prod":   `{"tasks":[{"name":"a","wcrt":"1"}],"buffers":[{"producer":"x","consumer":"a","prod":[1],"cons":[1]}]}`,
+		"bad rat":        `{"tasks":[{"name":"a","wcrt":"x"}],"buffers":[]}`,
+		"bad constraint": `{"tasks":[{"name":"a","wcrt":"1"}],"buffers":[],"constraint":{"task":"zz","period":"1"}}`,
+	}
+	for name, doc := range cases {
+		if _, _, err := Decode([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, _ := mp3Doc(t)
+	g.Buffers()[2].Capacity = 882
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph taskgraph", "vBR", "vDAC", "ξ=", "λ=", "ζ=882", "κ="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteVRDFDOT(t *testing.T) {
+	g, _ := mp3Doc(t)
+	g.Buffers()[0].Capacity = 6015
+	vg, _, err := vrdf.FromTaskGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVRDFDOT(&buf, vg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph vrdf", "π=", "γ=", "δ=6015", "ρ="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VRDF DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRatJSONForm(t *testing.T) {
+	// Rationals serialise as quoted strings, not floats.
+	g := taskgraph.New()
+	if _, err := g.AddTask("a", ratio.MustNew(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"1/3"`) {
+		t.Errorf("wcrt not serialised exactly:\n%s", data)
+	}
+}

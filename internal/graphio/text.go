@@ -1,0 +1,205 @@
+package graphio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+// The text format is a line-oriented alternative to JSON, convenient to
+// write by hand:
+//
+//	# MP3 playback, DATE 2008 §5
+//	task vBR  wcrt 32/625
+//	task vMP3 wcrt 3/125
+//	buffer vBR -> vMP3 prod 2048 cons {96,120,960} cap 6015 bytes 1
+//	constraint vMP3 period 1/44100
+//
+// Lines are independent; '#' starts a comment; quanta are a single value, a
+// {a,b,c} set, or an inclusive lo..hi range; times are exact rationals.
+
+// DecodeText parses the text format into a graph and optional constraint.
+func DecodeText(data []byte) (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	g := taskgraph.New()
+	var con *taskgraph.Constraint
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("graphio: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "task":
+			// task <name> wcrt <rat>
+			if len(fields) != 4 || fields[2] != "wcrt" {
+				return nil, nil, fail("expected 'task <name> wcrt <time>', got %q", line)
+			}
+			wcrt, err := ratio.Parse(fields[3])
+			if err != nil {
+				return nil, nil, fail("bad wcrt: %v", err)
+			}
+			if _, err := g.AddTask(fields[1], wcrt); err != nil {
+				return nil, nil, fail("%v", err)
+			}
+		case "buffer":
+			// buffer <prod> -> <cons> prod <q> cons <q> [cap n] [bytes n]
+			if len(fields) < 8 || fields[2] != "->" || fields[4] != "prod" || fields[6] != "cons" {
+				return nil, nil, fail("expected 'buffer <producer> -> <consumer> prod <quanta> cons <quanta> [cap n] [bytes n]', got %q", line)
+			}
+			prod, err := parseQuanta(fields[5])
+			if err != nil {
+				return nil, nil, fail("bad production quanta: %v", err)
+			}
+			cons, err := parseQuanta(fields[7])
+			if err != nil {
+				return nil, nil, fail("bad consumption quanta: %v", err)
+			}
+			buf := taskgraph.Buffer{
+				Producer: fields[1],
+				Consumer: fields[3],
+				Prod:     prod,
+				Cons:     cons,
+			}
+			rest := fields[8:]
+			for len(rest) > 0 {
+				if len(rest) < 2 {
+					return nil, nil, fail("dangling option %q", rest[0])
+				}
+				n, err := strconv.ParseInt(rest[1], 10, 64)
+				if err != nil {
+					return nil, nil, fail("bad %s value %q", rest[0], rest[1])
+				}
+				switch rest[0] {
+				case "cap":
+					buf.Capacity = n
+				case "bytes":
+					buf.ContainerBytes = n
+				default:
+					return nil, nil, fail("unknown buffer option %q", rest[0])
+				}
+				rest = rest[2:]
+			}
+			if _, err := g.AddBuffer(buf); err != nil {
+				return nil, nil, fail("%v", err)
+			}
+		case "constraint":
+			// constraint <task> period <rat>
+			if len(fields) != 4 || fields[2] != "period" {
+				return nil, nil, fail("expected 'constraint <task> period <time>', got %q", line)
+			}
+			if con != nil {
+				return nil, nil, fail("duplicate constraint")
+			}
+			period, err := ratio.Parse(fields[3])
+			if err != nil {
+				return nil, nil, fail("bad period: %v", err)
+			}
+			con = &taskgraph.Constraint{Task: fields[1], Period: period}
+		default:
+			return nil, nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graphio: %w", err)
+	}
+	if con != nil {
+		if err := con.Validate(g); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, con, nil
+}
+
+// EncodeText renders a graph (and optional constraint) in the text format.
+func EncodeText(g *taskgraph.Graph, c *taskgraph.Constraint) []byte {
+	var b strings.Builder
+	for _, t := range g.Tasks() {
+		fmt.Fprintf(&b, "task %s wcrt %s\n", t.Name, t.WCRT)
+	}
+	for _, buf := range g.Buffers() {
+		fmt.Fprintf(&b, "buffer %s -> %s prod %s cons %s",
+			buf.Producer, buf.Consumer, formatQuanta(buf.Prod), formatQuanta(buf.Cons))
+		if buf.Capacity > 0 {
+			fmt.Fprintf(&b, " cap %d", buf.Capacity)
+		}
+		if buf.ContainerBytes > 0 {
+			fmt.Fprintf(&b, " bytes %d", buf.ContainerBytes)
+		}
+		b.WriteByte('\n')
+	}
+	if c != nil {
+		fmt.Fprintf(&b, "constraint %s period %s\n", c.Task, c.Period)
+	}
+	return []byte(b.String())
+}
+
+// parseQuanta accepts "7", "{2,3}" or "96..99".
+func parseQuanta(s string) (taskgraph.QuantaSet, error) {
+	if strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}") {
+		parts := strings.Split(s[1:len(s)-1], ",")
+		vals := make([]int64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return taskgraph.QuantaSet{}, fmt.Errorf("bad set member %q", p)
+			}
+			vals = append(vals, v)
+		}
+		return taskgraph.NewQuantaSet(vals...)
+	}
+	if i := strings.Index(s, ".."); i >= 0 {
+		lo, err := strconv.ParseInt(s[:i], 10, 64)
+		if err != nil {
+			return taskgraph.QuantaSet{}, fmt.Errorf("bad range start %q", s[:i])
+		}
+		hi, err := strconv.ParseInt(s[i+2:], 10, 64)
+		if err != nil {
+			return taskgraph.QuantaSet{}, fmt.Errorf("bad range end %q", s[i+2:])
+		}
+		return taskgraph.Range(lo, hi)
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return taskgraph.QuantaSet{}, fmt.Errorf("bad quantum %q", s)
+	}
+	return taskgraph.NewQuantaSet(v)
+}
+
+// formatQuanta renders a set in the text syntax (single value or {...};
+// ranges are not reconstructed).
+func formatQuanta(q taskgraph.QuantaSet) string {
+	if q.IsConstant() {
+		return fmt.Sprintf("%d", q.Max())
+	}
+	return q.String() // already "{a,b,c}"
+}
+
+// DecodeAny sniffs the format: documents starting with '{' parse as JSON,
+// anything else as the text format.
+func DecodeAny(data []byte) (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	for _, ch := range data {
+		switch ch {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return Decode(data)
+		default:
+			return DecodeText(data)
+		}
+	}
+	return nil, nil, fmt.Errorf("graphio: empty document")
+}

@@ -1,0 +1,182 @@
+// Package minimize finds empirically minimal buffer capacities by
+// simulation.
+//
+// The analysis of Wiggers et al. (DATE 2008) computes capacities that are
+// sufficient but not necessarily minimal. This package searches for the
+// smallest capacities that keep a task graph deadlock-free — reproducing the
+// motivating numbers of the paper's Figure 1 (capacity 3 when the consumer
+// always takes 3, capacity 4 when it always takes 2) — or that preserve a
+// throughput constraint, quantifying the tightness of Equation (4).
+//
+// Feasibility is monotone in every buffer capacity (more space never hurts,
+// by the monotonicity of VRDF execution), so each buffer admits binary
+// search; chains are minimised by coordinate-descent passes until a
+// fixpoint.
+package minimize
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+// CheckFunc reports whether a capacity assignment (buffer name → capacity)
+// is feasible. Implementations must be monotone: if caps is feasible, any
+// pointwise-larger assignment must be too.
+type CheckFunc func(caps map[string]int64) (bool, error)
+
+// DeadlockFreeCheck returns a CheckFunc that accepts an assignment when the
+// self-timed execution of the sized graph completes `firings` firings of
+// `task` under every given workload without deadlocking.
+func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads []sim.Workloads) CheckFunc {
+	return func(caps map[string]int64) (bool, error) {
+		sized, err := applyCaps(g, caps)
+		if err != nil {
+			return false, err
+		}
+		for _, w := range workloads {
+			cfg, _, err := sim.TaskGraphConfig(sized, w)
+			if err != nil {
+				return false, err
+			}
+			cfg.Stop = sim.Stop{Actor: task, Firings: firings}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return false, err
+			}
+			if res.Outcome != sim.Completed {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}
+
+// ThroughputCheck returns a CheckFunc that accepts an assignment when
+// sim.VerifyThroughput succeeds for every given workload.
+func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, workloads []sim.Workloads) CheckFunc {
+	return func(caps map[string]int64) (bool, error) {
+		sized, err := applyCaps(g, caps)
+		if err != nil {
+			return false, err
+		}
+		for _, w := range workloads {
+			v, err := sim.VerifyThroughput(sized, c, sim.VerifyOptions{
+				Firings:   firings,
+				Workloads: w,
+			})
+			if err != nil {
+				return false, err
+			}
+			if !v.OK {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// Caps is the minimal feasible assignment found.
+	Caps map[string]int64
+	// Checks counts feasibility evaluations (each may run several
+	// simulations).
+	Checks int
+	// Passes counts coordinate-descent sweeps.
+	Passes int
+}
+
+// Total returns the summed capacity of the assignment.
+func (r *Result) Total() int64 {
+	var t int64
+	for _, v := range r.Caps {
+		t += v
+	}
+	return t
+}
+
+// Search finds a pointwise-minimal feasible capacity assignment at or below
+// upper. It first verifies that upper itself is feasible, then runs
+// coordinate-descent passes: for each buffer in order, binary-search the
+// smallest feasible capacity with the other buffers held at their current
+// values. Because feasibility is monotone, the result of each inner search
+// is exact; passes repeat until no capacity changes, yielding an assignment
+// where no single buffer can shrink further.
+func Search(buffers []string, upper map[string]int64, check CheckFunc) (*Result, error) {
+	if len(buffers) == 0 {
+		return nil, fmt.Errorf("minimize: no buffers to search")
+	}
+	cur := make(map[string]int64, len(buffers))
+	for _, b := range buffers {
+		u, ok := upper[b]
+		if !ok || u <= 0 {
+			return nil, fmt.Errorf("minimize: buffer %q needs a positive upper bound", b)
+		}
+		cur[b] = u
+	}
+	res := &Result{Caps: cur}
+	ok, err := check(copyCaps(cur))
+	res.Checks++
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("minimize: upper bound %v is not feasible", cur)
+	}
+	for {
+		res.Passes++
+		before := copyCaps(cur)
+		for _, b := range buffers {
+			lo, hi := int64(1), cur[b] // hi is known feasible
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				cur[b] = mid
+				ok, err := check(copyCaps(cur))
+				res.Checks++
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			cur[b] = hi
+		}
+		shrunk := false
+		for k, v := range cur {
+			if v < before[k] {
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	res.Caps = cur
+	return res, nil
+}
+
+func copyCaps(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func applyCaps(g *taskgraph.Graph, caps map[string]int64) (*taskgraph.Graph, error) {
+	out := g.Clone()
+	for name, c := range caps {
+		b := out.BufferByName(name)
+		if b == nil {
+			return nil, fmt.Errorf("minimize: unknown buffer %q", name)
+		}
+		b.Capacity = c
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package minimize
+
+import (
+	"testing"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+func r(n, d int64) ratio.Rat { return ratio.MustNew(n, d) }
+
+func figure1Graph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g, err := taskgraph.Pair("wa", r(1, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+const buf = "wa->wb"
+
+func TestFigure1MinimalCapacities(t *testing.T) {
+	// The paper's §1 numbers: the minimum buffer capacity for
+	// deadlock-free execution is 3 when the consumption quantum is
+	// always 3, but 4 when it is always 2 — "maximising the consumption
+	// quantum does not lead to buffer capacities that are sufficient for
+	// other consumption quanta."
+	g := figure1Graph(t)
+	cases := []struct {
+		name string
+		seq  quanta.Sequence
+		want int64
+	}{
+		{"n=3 every execution", quanta.Constant(3), 3},
+		{"n=2 every execution", quanta.Constant(2), 4},
+		// Mixing is harder still: the alternating sequence needs 5.
+		{"n alternating 2,3", quanta.Cycle(2, 3), 5},
+	}
+	for _, c := range cases {
+		check := DeadlockFreeCheck(g, "wb", 200, []sim.Workloads{
+			{buf: {Cons: c.seq}},
+		})
+		res, err := Search([]string{buf}, map[string]int64{buf: 20}, check)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := res.Caps[buf]; got != c.want {
+			t.Errorf("%s: minimal capacity = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestThroughputMinimumAtMostEquation4(t *testing.T) {
+	// Equation (4) gives 7 for this pair at τ = 3; the empirical
+	// throughput-preserving minimum cannot exceed it.
+	g := figure1Graph(t)
+	c := taskgraph.Constraint{Task: "wb", Period: r(3, 1)}
+	workloads := []sim.Workloads{
+		{buf: {Cons: quanta.Constant(2)}},
+		{buf: {Cons: quanta.Constant(3)}},
+		{buf: {Cons: quanta.Cycle(2, 3)}},
+		{buf: {Cons: quanta.Uniform(taskgraph.MustQuanta(2, 3), 5)}},
+	}
+	check := ThroughputCheck(g, c, 300, workloads)
+	res, err := Search([]string{buf}, map[string]int64{buf: 7}, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Caps[buf] > 7 {
+		t.Errorf("empirical minimum %d exceeds Equation (4)'s 7", res.Caps[buf])
+	}
+	if res.Caps[buf] < 5 {
+		t.Errorf("empirical minimum %d below the deadlock-free floor 5", res.Caps[buf])
+	}
+}
+
+func TestSearchChainCoordinateDescent(t *testing.T) {
+	// Three-stage constant-rate chain: every buffer shrinks to its local
+	// minimum independently.
+	g, err := taskgraph.BuildChain(
+		[]taskgraph.Stage{
+			{Name: "a", WCRT: r(1, 1)}, {Name: "b", WCRT: r(1, 1)}, {Name: "c", WCRT: r(1, 1)},
+		},
+		[]taskgraph.Link{
+			{Prod: taskgraph.MustQuanta(2), Cons: taskgraph.MustQuanta(2)},
+			{Prod: taskgraph.MustQuanta(3), Cons: taskgraph.MustQuanta(3)},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a->b", "b->c"}
+	check := DeadlockFreeCheck(g, "c", 100, []sim.Workloads{{}})
+	res, err := Search(names, map[string]int64{"a->b": 50, "b->c": 50}, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant-rate pair with p == c: a single quantum of slack
+	// suffices for progress (no overlap), so the minimum is p.
+	if res.Caps["a->b"] != 2 {
+		t.Errorf("a->b minimal capacity = %d, want 2", res.Caps["a->b"])
+	}
+	if res.Caps["b->c"] != 3 {
+		t.Errorf("b->c minimal capacity = %d, want 3", res.Caps["b->c"])
+	}
+	if res.Total() != 5 {
+		t.Errorf("Total = %d, want 5", res.Total())
+	}
+	if res.Passes < 1 || res.Checks < 2 {
+		t.Errorf("suspicious search stats: %+v", res)
+	}
+}
+
+func TestSearchRejectsInfeasibleUpper(t *testing.T) {
+	g := figure1Graph(t)
+	check := DeadlockFreeCheck(g, "wb", 100, []sim.Workloads{
+		{buf: {Cons: quanta.Constant(2)}},
+	})
+	if _, err := Search([]string{buf}, map[string]int64{buf: 3}, check); err == nil {
+		t.Error("infeasible upper bound accepted")
+	}
+}
+
+func TestSearchInputValidation(t *testing.T) {
+	if _, err := Search(nil, nil, nil); err == nil {
+		t.Error("empty buffer list accepted")
+	}
+	if _, err := Search([]string{"x"}, map[string]int64{}, nil); err == nil {
+		t.Error("missing upper bound accepted")
+	}
+	if _, err := Search([]string{"x"}, map[string]int64{"x": 0}, nil); err == nil {
+		t.Error("zero upper bound accepted")
+	}
+}
+
+func TestDeadlockCheckUnknownBuffer(t *testing.T) {
+	g := figure1Graph(t)
+	check := DeadlockFreeCheck(g, "wb", 10, []sim.Workloads{
+		{buf: {Cons: quanta.Constant(3)}},
+	})
+	if _, err := check(map[string]int64{"nope": 3}); err == nil {
+		t.Error("unknown buffer accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package ratio
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a Rat to the stdlib's arbitrary-precision rational.
+func toBig(r Rat) *big.Rat { return big.NewRat(r.Num(), r.Den()) }
+
+// fromParts builds a bounded Rat from fuzz input, avoiding legitimate
+// overflow so every operation below must succeed and agree with big.Rat.
+func fromParts(n int64, d int64) Rat {
+	return MustNew(n%100000, d%100000+100001)
+}
+
+func TestCrossCheckArithmeticAgainstBigRat(t *testing.T) {
+	f := func(an, ad, bn, bd int64) bool {
+		a, b := fromParts(an, ad), fromParts(bn, bd)
+		ba, bb := toBig(a), toBig(b)
+
+		if got, want := toBig(a.Add(b)), new(big.Rat).Add(ba, bb); got.Cmp(want) != 0 {
+			t.Logf("add %v + %v: %v != %v", a, b, got, want)
+			return false
+		}
+		if got, want := toBig(a.Sub(b)), new(big.Rat).Sub(ba, bb); got.Cmp(want) != 0 {
+			t.Logf("sub: %v != %v", got, want)
+			return false
+		}
+		if got, want := toBig(a.Mul(b)), new(big.Rat).Mul(ba, bb); got.Cmp(want) != 0 {
+			t.Logf("mul: %v != %v", got, want)
+			return false
+		}
+		if !b.IsZero() {
+			if got, want := toBig(a.Div(b)), new(big.Rat).Quo(ba, bb); got.Cmp(want) != 0 {
+				t.Logf("div: %v != %v", got, want)
+				return false
+			}
+		}
+		if a.Cmp(b) != ba.Cmp(bb) {
+			t.Logf("cmp(%v, %v): %d != %d", a, b, a.Cmp(b), ba.Cmp(bb))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossCheckFloorAgainstBigRat(t *testing.T) {
+	f := func(an, ad int64) bool {
+		a := fromParts(an, ad)
+		ba := toBig(a)
+		// Floor via big.Int division with Euclidean adjustment.
+		num, den := ba.Num(), ba.Denom()
+		q := new(big.Int).Div(num, den) // big.Int.Div is floored division
+		return q.IsInt64() && q.Int64() == a.Floor()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossCheckStringAgainstBigRat(t *testing.T) {
+	f := func(an, ad int64) bool {
+		a := fromParts(an, ad)
+		if a.IsInt() {
+			return true // big.Rat prints "n/1"; ours prints "n" by design
+		}
+		return a.String() == toBig(a).RatString()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package ratio
+
+import "testing"
+
+// FuzzParse checks that the rational parser never panics and that every
+// accepted value round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1/2", "-6/4", "0.0227", "51.2", "3", "-3", "1/0", "x", "9223372036854775807",
+		"-9223372036854775808", "0.00000000000000000001", "1/9223372036854775807",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("String() form %q of %q does not re-parse: %v", r.String(), s, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("round trip %q -> %v -> %v", s, r, back)
+		}
+		if r.Den() <= 0 {
+			t.Fatalf("non-canonical denominator %d from %q", r.Den(), s)
+		}
+	})
+}

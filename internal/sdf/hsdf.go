@@ -1,0 +1,150 @@
+package sdf
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/vrdf"
+)
+
+// HSDF is a homogeneous SDF graph: every firing of the original SDF graph
+// within one iteration becomes a node, and every edge carries unit rates.
+// It is the classical intermediate representation on which exact throughput
+// analysis (maximum cycle ratio) runs — and whose size blowup (the sum of
+// the repetition vector) is the scalability weakness of the traditional
+// flow that run-time analyses like the paper's avoid.
+type HSDF struct {
+	// Nodes holds one entry per (actor, firing-within-iteration),
+	// ordered actor by actor.
+	Nodes []HSDFNode
+	// Edges holds the precedence constraints.
+	Edges []HSDFEdge
+}
+
+// HSDFNode is one firing of an actor within the iteration.
+type HSDFNode struct {
+	Actor  string
+	Firing int64 // 0-based within the iteration
+}
+
+// HSDFEdge is a precedence: node Dst starts at least Delay after node Src
+// started, when Src is taken from Tokens iterations earlier.
+type HSDFEdge struct {
+	Src, Dst int // node indices
+	// Delay is the timing weight: the source's response time.
+	Delay ratio.Rat
+	// Tokens is the iteration distance (initial tokens on the edge).
+	Tokens int64
+}
+
+// MaxHSDFNodes guards against the repetition-vector blowup: ToHSDF refuses
+// graphs whose iteration exceeds this many firings. (The MP3 chain's
+// iteration has 169,963 firings — analysing it this way is exactly the
+// scalability trap the traditional flow falls into.)
+const MaxHSDFNodes = 20000
+
+// ToHSDF expands a constant-rate graph into its homogeneous form using the
+// repetition vector q. For each SDF edge (u→v, p, c, d) and each consumer
+// firing j, the binding dependence is on the producer firing that emits the
+// last token firing j consumes: k = ⌈((j+1)·c − d)/p⌉ − 1; k is mapped to
+// the node k mod q(u) with iteration distance −⌊k/q(u)⌋. Per-actor
+// serialisation cycles (firing j+1 after firing j, wrapping with one token)
+// encode that firings of one actor never overlap.
+func ToHSDF(g *vrdf.Graph, q map[string]int64) (*HSDF, error) {
+	if err := IsSDF(g); err != nil {
+		return nil, err
+	}
+	total := IterationLength(q)
+	if total > MaxHSDFNodes {
+		return nil, fmt.Errorf("sdf: iteration has %d firings, above the %d-node HSDF guard — the classical expansion does not scale to this graph", total, MaxHSDFNodes)
+	}
+	h := &HSDF{}
+	index := make(map[string]int, len(g.Actors())) // actor -> first node index
+	for _, a := range g.Actors() {
+		reps := q[a.Name]
+		if reps <= 0 {
+			return nil, fmt.Errorf("sdf: actor %s has repetition count %d", a.Name, reps)
+		}
+		index[a.Name] = len(h.Nodes)
+		for j := int64(0); j < reps; j++ {
+			h.Nodes = append(h.Nodes, HSDFNode{Actor: a.Name, Firing: j})
+		}
+	}
+	// Serialisation cycles.
+	for _, a := range g.Actors() {
+		reps := q[a.Name]
+		base := index[a.Name]
+		for j := int64(0); j < reps; j++ {
+			next := (j + 1) % reps
+			tokens := int64(0)
+			if next == 0 {
+				tokens = 1
+			}
+			h.Edges = append(h.Edges, HSDFEdge{
+				Src: base + int(j), Dst: base + int(next),
+				Delay:  a.Rho,
+				Tokens: tokens,
+			})
+		}
+	}
+	// Data dependences.
+	for _, e := range g.Edges() {
+		p, c, d := e.Prod.Max(), e.Cons.Max(), e.Initial
+		qu, qv := q[e.Src], q[e.Dst]
+		srcBase, dstBase := index[e.Src], index[e.Dst]
+		rhoSrc := g.Actor(e.Src).Rho
+		for j := int64(0); j < qv; j++ {
+			// The producer's global firing emitting the last token
+			// consumed by the consumer's global firing j + n·q(v) is
+			// k + n·q(u): the dependence pattern repeats per
+			// iteration with a constant distance. A j whose first
+			// iterations are served by initial tokens still depends
+			// on earlier-iteration firings once n grows, which the
+			// positive iteration distance encodes.
+			need := (j+1)*c - d
+			k := ceilDiv(need, p) - 1
+			a := floorMod(k, qu)
+			dist := -floorDiv(k, qu)
+			h.Edges = append(h.Edges, HSDFEdge{
+				Src: srcBase + int(a), Dst: dstBase + int(j),
+				Delay:  rhoSrc,
+				Tokens: dist,
+			})
+		}
+	}
+	// A live SDF graph never yields negative iteration distances for
+	// dependences that can be satisfied; a negative distance means firing
+	// j needs a token from a *future* iteration — a deadlock the caller
+	// should have screened with CheckDeadlockFree.
+	for _, e := range h.Edges {
+		if e.Tokens < 0 {
+			return nil, fmt.Errorf("sdf: dependence %s->%s requires tokens from a future iteration (deadlock); run CheckDeadlockFree first",
+				h.Nodes[e.Src].Actor, h.Nodes[e.Dst].Actor)
+		}
+	}
+	return h, nil
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func floorMod(a, b int64) int64 {
+	m := a % b
+	if m != 0 && (m < 0) != (b < 0) {
+		m += b
+	}
+	return m
+}

@@ -1,0 +1,242 @@
+package sdf
+
+import (
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/mp3"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+	"vrdfcap/internal/vrdf"
+)
+
+func r(n, d int64) ratio.Rat { return ratio.MustNew(n, d) }
+
+// mp3ConstantVRDF returns the VRDF graph of the MP3 chain with n fixed to
+// 960 and the paper's baseline capacities.
+func mp3ConstantVRDF(t *testing.T) *vrdf.Graph {
+	t.Helper()
+	tg, err := mp3.GraphWithFrameQuanta(taskgraph.MustQuanta(960))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []int64{5888, 3072, 882}
+	for i, n := range mp3.BufferNames() {
+		tg.BufferByName(n).Capacity = caps[i]
+	}
+	g, _, err := vrdf.FromTaskGraph(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIsSDF(t *testing.T) {
+	g := mp3ConstantVRDF(t)
+	if err := IsSDF(g); err != nil {
+		t.Errorf("constant-rate graph rejected: %v", err)
+	}
+	// The variable-rate MP3 graph is NOT SDF — the restriction the
+	// paper lifts.
+	tg, err := mp3.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, _, err := vrdf.FromTaskGraph(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = IsSDF(vg)
+	if err == nil {
+		t.Fatal("variable-rate graph accepted as SDF")
+	}
+	if !strings.Contains(err.Error(), "VRDF") {
+		t.Errorf("error does not point to the VRDF analysis: %v", err)
+	}
+}
+
+func TestRepetitionVectorMP3(t *testing.T) {
+	// Balance equations of the constant MP3 chain (n = 960):
+	// 75·2048 = 160·960, 160·1152 = 384·480, 384·441 = 169344·1.
+	g := mp3ConstantVRDF(t)
+	q, err := RepetitionVector(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		mp3.TaskBR:  75,
+		mp3.TaskMP3: 160,
+		mp3.TaskSRC: 384,
+		mp3.TaskDAC: 169344,
+	}
+	for a, w := range want {
+		if q[a] != w {
+			t.Errorf("q(%s) = %d, want %d", a, q[a], w)
+		}
+	}
+	// One iteration is token-neutral on every edge.
+	for edge, net := range IterationTokens(g, q) {
+		if net != 0 {
+			t.Errorf("edge %s gains %d tokens per iteration", edge, net)
+		}
+	}
+	if got := IterationLength(q); got != 75+160+384+169344 {
+		t.Errorf("iteration length = %d", got)
+	}
+}
+
+func TestRepetitionVectorInconsistent(t *testing.T) {
+	g := vrdf.New()
+	for _, n := range []string{"a", "b"} {
+		if _, err := g.AddActor(n, r(1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a→b at rate 2:1 but b→a at rate 1:1 — inconsistent cycle.
+	if _, err := g.AddEdge(vrdf.Edge{Name: "ab", Src: "a", Dst: "b",
+		Prod: taskgraph.MustQuanta(2), Cons: taskgraph.MustQuanta(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(vrdf.Edge{Name: "ba", Src: "b", Dst: "a",
+		Prod: taskgraph.MustQuanta(1), Cons: taskgraph.MustQuanta(1), Initial: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RepetitionVector(g); err == nil {
+		t.Fatal("inconsistent graph accepted")
+	} else if !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRepetitionVectorScaling(t *testing.T) {
+	// 3:2 pair — q = (2, 3), the smallest integer solution.
+	g := vrdf.New()
+	for _, n := range []string{"p", "c"} {
+		if _, err := g.AddActor(n, r(1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.AddEdge(vrdf.Edge{Name: "e", Src: "p", Dst: "c",
+		Prod: taskgraph.MustQuanta(3), Cons: taskgraph.MustQuanta(2)}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := RepetitionVector(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q["p"] != 2 || q["c"] != 3 {
+		t.Errorf("q = %v, want p:2 c:3", q)
+	}
+}
+
+func TestCheckDeadlockFree(t *testing.T) {
+	// The sized constant MP3 chain completes an iteration.
+	g := mp3ConstantVRDF(t)
+	q, err := RepetitionVector(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl := CheckDeadlockFree(g, q); dl != nil {
+		t.Errorf("sized chain reported deadlocked: blocked %v", dl.Blocked)
+	}
+	// Remove the capacity of the first buffer: deadlock.
+	tg, err := mp3.GraphWithFrameQuanta(taskgraph.MustQuanta(960))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := mp3.BufferNames()
+	tg.BufferByName(names[0]).Capacity = 959 // < one frame
+	for _, n := range names[1:] {
+		tg.BufferByName(n).Capacity = 100000
+	}
+	bad, _, err := vrdf.FromTaskGraph(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := RepetitionVector(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := CheckDeadlockFree(bad, qb)
+	if dl == nil {
+		t.Fatal("undersized chain reported deadlock-free")
+	}
+	if len(dl.Blocked) == 0 {
+		t.Error("no blocked actors reported")
+	}
+}
+
+func TestMeasureThroughputMP3(t *testing.T) {
+	// With the paper's baseline capacities and critical response times,
+	// the self-timed DAC settles at one sample per 1/44100 s.
+	g := mp3ConstantVRDF(t)
+	per, err := MeasureThroughput(g, mp3.TaskDAC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !per.Equal(r(1, 44100)) {
+		t.Errorf("steady-state period = %v, want 1/44100", per)
+	}
+}
+
+func TestMeasureThroughputValidation(t *testing.T) {
+	g := mp3ConstantVRDF(t)
+	if _, err := MeasureThroughput(g, mp3.TaskDAC, 1); err == nil {
+		t.Error("single iteration accepted")
+	}
+	if _, err := MeasureThroughput(g, "nope", 3); err == nil {
+		t.Error("unknown actor accepted")
+	}
+	// Variable-rate graph rejected.
+	tg, err := mp3.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range mp3.BufferNames() {
+		tg.BufferByName(n).Capacity = 10000
+	}
+	vg, _, err := vrdf.FromTaskGraph(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureThroughput(vg, mp3.TaskDAC, 3); err == nil {
+		t.Error("variable-rate graph accepted")
+	}
+}
+
+func TestBaselineFormulaCrossCheck(t *testing.T) {
+	// The capacity package's PolicyBaseline numbers and this package's
+	// structural view agree: with the baseline capacities the constant
+	// chain is consistent, deadlock-free and hits the required rate.
+	tg, err := mp3.GraphWithFrameQuanta(taskgraph.MustQuanta(960))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := capacity.Compute(tg, mp3.Constraint(), capacity.PolicyBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized, err := capacity.Sized(tg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := vrdf.FromTaskGraph(sized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := RepetitionVector(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl := CheckDeadlockFree(g, q); dl != nil {
+		t.Fatalf("baseline sizing deadlocks: %v", dl.Blocked)
+	}
+	per, err := MeasureThroughput(g, mp3.TaskDAC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per.Cmp(r(1, 44100)) > 0 {
+		t.Errorf("baseline sizing cannot sustain 44.1 kHz: period %v", per)
+	}
+}

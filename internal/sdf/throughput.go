@@ -1,0 +1,56 @@
+package sdf
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/vrdf"
+)
+
+// MeasureThroughput executes the constant-rate graph self-timed for the
+// given number of complete iterations and returns the average period of the
+// named actor (time units per firing) once the execution has passed its
+// transient: the measurement discards the first iteration.
+//
+// For a strongly connected (or back-pressured) SDF graph the self-timed
+// execution settles into a periodic phase, so the average converges to the
+// actual steady-state period — the quantity traditional tools compute
+// analytically via maximum cycle mean.
+func MeasureThroughput(g *vrdf.Graph, actor string, iterations int64) (ratio.Rat, error) {
+	if iterations < 2 {
+		return ratio.Rat{}, fmt.Errorf("sdf: need at least 2 iterations to discard the transient, got %d", iterations)
+	}
+	q, err := RepetitionVector(g)
+	if err != nil {
+		return ratio.Rat{}, err
+	}
+	reps, ok := q[actor]
+	if !ok || reps == 0 {
+		return ratio.Rat{}, fmt.Errorf("sdf: actor %q not in graph or fires zero times per iteration", actor)
+	}
+	if dl := CheckDeadlockFree(g, q); dl != nil {
+		return ratio.Rat{}, fmt.Errorf("sdf: graph deadlocks before completing an iteration (blocked: %v)", dl.Blocked)
+	}
+	res, err := sim.Run(sim.Config{
+		Graph:        g,
+		Stop:         sim.Stop{Actor: actor, Firings: reps * iterations},
+		RecordStarts: []string{actor},
+	})
+	if err != nil {
+		return ratio.Rat{}, err
+	}
+	if res.Outcome != sim.Completed {
+		return ratio.Rat{}, fmt.Errorf("sdf: self-timed execution %v", res.Outcome)
+	}
+	starts := res.Starts[actor]
+	skip := int(reps) // discard the first iteration's transient
+	if skip >= len(starts)-1 {
+		skip = 0
+	}
+	avgTicks, err := sim.AveragePeriodTicks(starts[skip:])
+	if err != nil {
+		return ratio.Rat{}, err
+	}
+	return avgTicks.DivInt(res.Base.TicksPerUnit), nil
+}

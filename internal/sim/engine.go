@@ -1,0 +1,827 @@
+// Package sim is a discrete-event simulator for Variable-Rate Dataflow
+// graphs and the task graphs they model.
+//
+// It plays the role of the "dataflow simulator" the paper uses in §5 to
+// verify that the computed buffer capacities are sufficient to satisfy the
+// throughput constraint. Actors follow the VRDF semantics of §3.2: a firing
+// is enabled when every input edge holds sufficient tokens for that firing's
+// consumption quanta, tokens are consumed atomically at the start, produced
+// atomically at the finish (the actor's response time later), and firings of
+// one actor never overlap.
+//
+// Each actor runs in one of two modes. ASAP (self-timed) actors start every
+// firing as soon as it is enabled. Periodic actors attempt to start firing k
+// exactly at offset + k·period and the simulation fails with an underrun if
+// the firing is not enabled at that instant — this is how a throughput
+// constraint is checked against concrete buffer capacities.
+//
+// Time is integer ticks derived from an exact rational TimeBase, so
+// simulated schedules are bit-reproducible and free of rounding artefacts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/vrdf"
+)
+
+// Mode selects how an actor's firings are scheduled.
+type Mode int
+
+const (
+	// ASAP starts each firing as soon as it is enabled (self-timed).
+	ASAP Mode = iota
+	// Periodic starts firing k exactly at offset + k·period; an
+	// un-enabled firing at its scheduled start is an underrun.
+	Periodic
+)
+
+// ActorConfig configures one actor's scheduling and execution times.
+type ActorConfig struct {
+	// Mode is ASAP by default.
+	Mode Mode
+	// Offset is the start time of firing 0 in Periodic mode.
+	Offset ratio.Rat
+	// Period is the strict period in Periodic mode; must be positive.
+	Period ratio.Rat
+	// Exec, if non-nil, gives the execution time of firing k; values
+	// must be positive and at most the actor's response time ρ (the
+	// response time is the worst case). If nil, every firing takes
+	// exactly ρ. Every returned value must be representable in the
+	// run's time base; list the denominators via Config.ExtraTimes.
+	Exec func(k int64) ratio.Rat
+	// StartShift, if non-nil, delays the start of firing k by the given
+	// non-negative amount beyond its enabling (ASAP mode only). Used by
+	// the monotonicity and linearity property tests, which compare
+	// shifted schedules.
+	StartShift func(k int64) ratio.Rat
+}
+
+// EdgeQuanta supplies the per-firing transfer quanta of one edge.
+type EdgeQuanta struct {
+	// Prod yields the production quantum of the source actor's k-th
+	// firing. If nil, the edge's production quanta set must be a
+	// singleton and its value is used.
+	Prod quanta.Sequence
+	// Cons yields the consumption quantum of the destination actor's
+	// k-th firing. If nil, the consumption quanta set must be constant.
+	Cons quanta.Sequence
+}
+
+// Stop tells the engine when a run is complete.
+type Stop struct {
+	// Actor names the actor whose progress ends the run.
+	Actor string
+	// Firings is the number of completed firings of Actor after which
+	// the run stops. Must be positive.
+	Firings int64
+}
+
+// Config configures a simulation run.
+type Config struct {
+	// Graph is the VRDF graph to execute. Initial tokens are taken from
+	// the graph's edges.
+	Graph *vrdf.Graph
+	// Actors holds per-actor overrides; actors without an entry run
+	// ASAP with constant execution time ρ.
+	Actors map[string]ActorConfig
+	// Quanta holds per-edge quanta sequences, keyed by edge name. Edges
+	// without an entry must have constant quanta sets on both sides.
+	Quanta map[string]EdgeQuanta
+	// Validate wraps all sequences so that a value outside the edge's
+	// declared quanta set aborts the run with a panic. Costs one set
+	// lookup per transfer.
+	Validate bool
+	// Stop is the run's completion condition; required.
+	Stop Stop
+	// MaxEvents bounds the total number of processed events as a runaway
+	// guard; 0 means the default of 50 million.
+	MaxEvents int64
+	// RecordStarts lists actors whose firing start times are collected.
+	RecordStarts []string
+	// RecordTransfers lists edges whose token transfers are collected
+	// (for bound-conservativeness checks and Figure-3 style plots).
+	RecordTransfers []string
+	// RecordOccupancy lists edges whose token-count timeline is
+	// collected: one sample per change, starting with the initial
+	// tokens at tick 0.
+	RecordOccupancy []string
+	// ExtraTimes lists additional rational times that must be exactly
+	// representable in the run's time base (e.g. a period used later to
+	// post-process recorded start times).
+	ExtraTimes []ratio.Rat
+	// Invariants lists token-sum invariants checked after every event
+	// when CheckInvariants is set: for each entry, the tokens on the
+	// named edges must never exceed Max (buffer pairs: data + space
+	// tokens never exceed the capacity) and no edge may go negative.
+	Invariants []TokenInvariant
+	// CheckInvariants enables the per-event invariant checks; a
+	// violation aborts the run with an error. Costs one pass over the
+	// invariants per event.
+	CheckInvariants bool
+}
+
+// TokenInvariant bounds the token sum of a set of edges.
+type TokenInvariant struct {
+	// Name identifies the invariant in error messages.
+	Name string
+	// Edges lists the edge names whose token counts are summed.
+	Edges []string
+	// Max is the bound the sum must never exceed.
+	Max int64
+}
+
+// Outcome classifies how a run ended.
+type Outcome int
+
+const (
+	// Completed: the stop condition was reached.
+	Completed Outcome = iota
+	// Deadlocked: no actor could make progress before the stop
+	// condition was reached.
+	Deadlocked
+	// Underrun: a periodic actor was not enabled at a scheduled start.
+	Underrun
+	// LimitExceeded: MaxEvents was hit.
+	LimitExceeded
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Deadlocked:
+		return "deadlocked"
+	case Underrun:
+		return "underrun"
+	case LimitExceeded:
+		return "limit-exceeded"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// UnderrunInfo describes a failed periodic start.
+type UnderrunInfo struct {
+	Actor  string
+	Firing int64
+	// Tick is the scheduled start time.
+	Tick int64
+	// Edge is the input edge lacking tokens ("" when the failure is an
+	// unfinished previous firing).
+	Edge string
+	// Have and Need are the token counts on Edge at the failure.
+	Have, Need int64
+}
+
+func (u *UnderrunInfo) String() string {
+	if u.Edge == "" {
+		return fmt.Sprintf("actor %s firing %d: previous firing still running at scheduled start tick %d", u.Actor, u.Firing, u.Tick)
+	}
+	return fmt.Sprintf("actor %s firing %d at tick %d: edge %s has %d tokens, needs %d", u.Actor, u.Firing, u.Tick, u.Edge, u.Have, u.Need)
+}
+
+// DeadlockInfo describes a deadlock: which actors were blocked on what.
+type DeadlockInfo struct {
+	Tick    int64
+	Blocked []BlockedActor
+}
+
+// BlockedActor names one blocked actor and the first input edge that lacked
+// tokens for its next firing.
+type BlockedActor struct {
+	Actor      string
+	Firing     int64
+	Edge       string
+	Have, Need int64
+}
+
+// TransferRec is one recorded atomic token transfer on an edge: cumulative
+// token indices [From, To] (1-based) moved at Tick. Produce distinguishes
+// production from consumption.
+type TransferRec struct {
+	From, To int64
+	Tick     int64
+	Produce  bool
+}
+
+// OccupancySample is one point of an edge's token-count timeline: the
+// count holds from Tick until the next sample's tick.
+type OccupancySample struct {
+	Tick   int64
+	Tokens int64
+}
+
+// EdgeStats summarises one edge over a run.
+type EdgeStats struct {
+	// Produced and Consumed are cumulative token counts.
+	Produced, Consumed int64
+	// Peak and Min are the extreme token counts observed (including the
+	// initial tokens).
+	Peak, Min int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Outcome  Outcome
+	Base     TimeBase
+	EndTick  int64
+	Events   int64
+	Fired    map[string]int64
+	Finished map[string]int64
+	// BusyTicks accumulates each actor's execution time in ticks;
+	// BusyTicks[a]/EndTick is the actor's utilisation of its resource.
+	BusyTicks map[string]int64
+	// Starts holds tick start times per recorded actor.
+	Starts map[string][]int64
+	// Transfers holds recorded transfers per recorded edge in time
+	// order.
+	Transfers map[string][]TransferRec
+	// Occupancy holds recorded token-count timelines per recorded edge.
+	Occupancy map[string][]OccupancySample
+	// Edges holds per-edge statistics for every edge.
+	Edges map[string]EdgeStats
+	// Underrun is set when Outcome == Underrun.
+	Underrun *UnderrunInfo
+	// Deadlock is set when Outcome == Deadlocked.
+	Deadlock *DeadlockInfo
+}
+
+const defaultMaxEvents = 50_000_000
+
+// Run executes the configured simulation.
+func Run(cfg Config) (*Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+type portRef struct {
+	edge *edgeState
+	seq  quanta.Sequence
+}
+
+type actorState struct {
+	idx        int
+	name       string
+	mode       Mode
+	rhoTicks   int64
+	exec       func(k int64) ratio.Rat
+	startShift func(k int64) ratio.Rat
+	offsetT    int64
+	periodT    int64
+	started    int64
+	finished   int64
+	busyTicks  int64 // accumulated execution time
+	busyUntil  int64 // earliest tick the next firing may start
+	readyAt    int64 // ASAP with StartShift: tick the armed firing may start
+	armedFor   int64 // ASAP with StartShift: firing index the timer is armed for, -1 none
+	in         []portRef
+	out        []portRef
+	record     bool
+	starts     []int64
+}
+
+type edgeState struct {
+	name      string
+	tokens    int64
+	peak      int64
+	min       int64
+	produced  int64
+	consumed  int64
+	record    bool
+	recs      []TransferRec
+	recordOcc bool
+	occ       []OccupancySample
+}
+
+// sample appends an occupancy sample, merging same-tick updates.
+func (es *edgeState) sample(tick int64) {
+	if !es.recordOcc {
+		return
+	}
+	if n := len(es.occ); n > 0 && es.occ[n-1].Tick == tick {
+		es.occ[n-1].Tokens = es.tokens
+		return
+	}
+	es.occ = append(es.occ, OccupancySample{Tick: tick, Tokens: es.tokens})
+}
+
+type eventKind int
+
+const (
+	evFinish eventKind = iota
+	evPeriodicStart
+	evShiftedStart
+)
+
+type event struct {
+	tick  int64
+	kind  eventKind
+	actor int
+	seq   int64 // tiebreaker for deterministic ordering
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].tick != q[j].tick {
+		return q[i].tick < q[j].tick
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind // finishes before starts at equal time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+type engine struct {
+	cfg        Config
+	base       TimeBase
+	actors     []*actorState
+	byName     map[string]*actorState
+	edges      map[string]*edgeState
+	eq         eventQueue
+	seq        int64
+	events     int64
+	maxEvents  int64
+	stop       *actorState
+	invariants []resolvedInvariant
+}
+
+type resolvedInvariant struct {
+	name  string
+	edges []*edgeState
+	max   int64
+}
+
+// checkInvariants validates the configured token invariants; called after
+// every event when enabled.
+func (e *engine) checkInvariants(tick int64) error {
+	for _, es := range e.edges {
+		if es.tokens < 0 {
+			return fmt.Errorf("sim: invariant violated at tick %d: edge %s has %d tokens", tick, es.name, es.tokens)
+		}
+	}
+	for _, inv := range e.invariants {
+		var sum int64
+		for _, es := range inv.edges {
+			sum += es.tokens
+		}
+		if sum > inv.max {
+			return fmt.Errorf("sim: invariant %s violated at tick %d: token sum %d exceeds %d", inv.name, tick, sum, inv.max)
+		}
+	}
+	return nil
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	g := cfg.Graph
+	if g == nil {
+		return nil, fmt.Errorf("sim: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Stop.Actor == "" || cfg.Stop.Firings <= 0 {
+		return nil, fmt.Errorf("sim: stop condition requires an actor and a positive firing count")
+	}
+	if g.Actor(cfg.Stop.Actor) == nil {
+		return nil, fmt.Errorf("sim: stop actor %q not in graph", cfg.Stop.Actor)
+	}
+
+	// Collect every rational time the run will see to build the base.
+	times := append([]ratio.Rat(nil), cfg.ExtraTimes...)
+	for _, a := range g.Actors() {
+		times = append(times, a.Rho)
+		if ac, ok := cfg.Actors[a.Name]; ok {
+			if ac.Mode == Periodic {
+				times = append(times, ac.Offset, ac.Period)
+			}
+		}
+	}
+	base, err := NewTimeBase(times...)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:       cfg,
+		base:      base,
+		byName:    make(map[string]*actorState),
+		edges:     make(map[string]*edgeState),
+		maxEvents: cfg.MaxEvents,
+	}
+	if e.maxEvents <= 0 {
+		e.maxEvents = defaultMaxEvents
+	}
+
+	recordStart := make(map[string]bool, len(cfg.RecordStarts))
+	for _, n := range cfg.RecordStarts {
+		if g.Actor(n) == nil {
+			return nil, fmt.Errorf("sim: RecordStarts actor %q not in graph", n)
+		}
+		recordStart[n] = true
+	}
+	recordEdge := make(map[string]bool, len(cfg.RecordTransfers))
+	for _, n := range cfg.RecordTransfers {
+		if g.EdgeByName(n) == nil {
+			return nil, fmt.Errorf("sim: RecordTransfers edge %q not in graph", n)
+		}
+		recordEdge[n] = true
+	}
+	recordOcc := make(map[string]bool, len(cfg.RecordOccupancy))
+	for _, n := range cfg.RecordOccupancy {
+		if g.EdgeByName(n) == nil {
+			return nil, fmt.Errorf("sim: RecordOccupancy edge %q not in graph", n)
+		}
+		recordOcc[n] = true
+	}
+
+	for _, ge := range g.Edges() {
+		es := &edgeState{
+			name:      ge.Name,
+			tokens:    ge.Initial,
+			peak:      ge.Initial,
+			min:       ge.Initial,
+			record:    recordEdge[ge.Name],
+			recordOcc: recordOcc[ge.Name],
+		}
+		es.sample(0)
+		e.edges[ge.Name] = es
+	}
+
+	for i, ga := range g.Actors() {
+		rhoT, err := base.Ticks(ga.Rho)
+		if err != nil {
+			return nil, fmt.Errorf("sim: actor %s: %w", ga.Name, err)
+		}
+		as := &actorState{
+			idx:      i,
+			name:     ga.Name,
+			rhoTicks: rhoT,
+			record:   recordStart[ga.Name],
+			armedFor: -1,
+		}
+		if ac, ok := cfg.Actors[ga.Name]; ok {
+			as.mode = ac.Mode
+			as.exec = ac.Exec
+			as.startShift = ac.StartShift
+			if ac.Mode == Periodic {
+				if ac.Period.Sign() <= 0 {
+					return nil, fmt.Errorf("sim: periodic actor %s needs a positive period, got %v", ga.Name, ac.Period)
+				}
+				if ac.Offset.Sign() < 0 {
+					return nil, fmt.Errorf("sim: periodic actor %s needs a non-negative offset, got %v", ga.Name, ac.Offset)
+				}
+				if as.offsetT, err = base.Ticks(ac.Offset); err != nil {
+					return nil, fmt.Errorf("sim: actor %s offset: %w", ga.Name, err)
+				}
+				if as.periodT, err = base.Ticks(ac.Period); err != nil {
+					return nil, fmt.Errorf("sim: actor %s period: %w", ga.Name, err)
+				}
+				if as.startShift != nil {
+					return nil, fmt.Errorf("sim: actor %s: StartShift is only valid in ASAP mode", ga.Name)
+				}
+			}
+		}
+		e.actors = append(e.actors, as)
+		e.byName[ga.Name] = as
+	}
+
+	for _, ge := range g.Edges() {
+		eq := cfg.Quanta[ge.Name]
+		prod := eq.Prod
+		if prod == nil {
+			if !ge.Prod.IsConstant() {
+				return nil, fmt.Errorf("sim: edge %s has variable production quanta %v but no sequence configured", ge.Name, ge.Prod)
+			}
+			prod = quanta.Constant(ge.Prod.Max())
+		}
+		cons := eq.Cons
+		if cons == nil {
+			if !ge.Cons.IsConstant() {
+				return nil, fmt.Errorf("sim: edge %s has variable consumption quanta %v but no sequence configured", ge.Name, ge.Cons)
+			}
+			cons = quanta.Constant(ge.Cons.Max())
+		}
+		if cfg.Validate {
+			prod = quanta.Checked(prod, ge.Prod)
+			cons = quanta.Checked(cons, ge.Cons)
+		}
+		es := e.edges[ge.Name]
+		src := e.byName[ge.Src]
+		dst := e.byName[ge.Dst]
+		src.out = append(src.out, portRef{edge: es, seq: prod})
+		dst.in = append(dst.in, portRef{edge: es, seq: cons})
+	}
+
+	if cfg.CheckInvariants {
+		for _, inv := range cfg.Invariants {
+			ri := resolvedInvariant{name: inv.Name, max: inv.Max}
+			for _, name := range inv.Edges {
+				es, ok := e.edges[name]
+				if !ok {
+					return nil, fmt.Errorf("sim: invariant %s references unknown edge %q", inv.Name, name)
+				}
+				ri.edges = append(ri.edges, es)
+			}
+			e.invariants = append(e.invariants, ri)
+		}
+	}
+
+	e.stop = e.byName[cfg.Stop.Actor]
+	return e, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.eq, ev)
+}
+
+// enabled reports whether actor a's next firing has sufficient tokens on
+// every input edge, returning the first lacking edge otherwise.
+func (a *actorState) enabled() (ok bool, lacking *portRef, need int64) {
+	k := a.started
+	for i := range a.in {
+		p := &a.in[i]
+		n := p.seq.At(k)
+		if p.edge.tokens < n {
+			return false, p, n
+		}
+	}
+	return true, nil, 0
+}
+
+// start begins actor a's next firing at tick t: consumes input tokens and
+// schedules the finish event.
+func (e *engine) start(a *actorState, t int64) error {
+	k := a.started
+	for i := range a.in {
+		p := &a.in[i]
+		n := p.seq.At(k)
+		if n > 0 {
+			p.edge.consumed += n
+			if p.edge.record {
+				p.edge.recs = append(p.edge.recs, TransferRec{
+					From: p.edge.consumed - n + 1, To: p.edge.consumed, Tick: t, Produce: false,
+				})
+			}
+			p.edge.tokens -= n
+			if p.edge.tokens < p.edge.min {
+				p.edge.min = p.edge.tokens
+			}
+			p.edge.sample(t)
+		}
+	}
+	execT := a.rhoTicks
+	if a.exec != nil {
+		et, err := e.base.Ticks(a.exec(k))
+		if err != nil {
+			return fmt.Errorf("sim: actor %s firing %d execution time: %w", a.name, k, err)
+		}
+		if et <= 0 || et > a.rhoTicks {
+			return fmt.Errorf("sim: actor %s firing %d execution time %d ticks outside (0, ρ=%d]", a.name, k, et, a.rhoTicks)
+		}
+		execT = et
+	}
+	a.started++
+	a.busyUntil = t + execT
+	a.busyTicks += execT
+	if a.record {
+		a.starts = append(a.starts, t)
+	}
+	e.push(event{tick: t + execT, kind: evFinish, actor: a.idx})
+	return nil
+}
+
+// finish completes actor a's oldest running firing at tick t: produces
+// output tokens.
+func (e *engine) finish(a *actorState, t int64) {
+	k := a.finished
+	for i := range a.out {
+		p := &a.out[i]
+		n := p.seq.At(k)
+		if n > 0 {
+			p.edge.tokens += n
+			p.edge.produced += n
+			if p.edge.record {
+				p.edge.recs = append(p.edge.recs, TransferRec{
+					From: p.edge.produced - n + 1, To: p.edge.produced, Tick: t, Produce: true,
+				})
+			}
+			if p.edge.tokens > p.edge.peak {
+				p.edge.peak = p.edge.tokens
+			}
+			p.edge.sample(t)
+		}
+	}
+	a.finished++
+}
+
+// startScan starts every ASAP actor that is enabled at tick t, cascading
+// until a fixpoint (a start at t never enables another start at t by itself
+// because production happens at finish, but zero-consumption firings and
+// multiple enabled actors still need the loop).
+func (e *engine) startScan(t int64) error {
+	for {
+		progress := false
+		for _, a := range e.actors {
+			if a.mode != ASAP {
+				continue
+			}
+			for a.busyUntil <= t {
+				ok, _, _ := a.enabled()
+				if !ok {
+					break
+				}
+				if a.startShift != nil {
+					if a.armedFor == a.started {
+						// Timer armed for this firing; wait for it.
+						if a.readyAt > t {
+							break
+						}
+					} else {
+						// First time this firing is enabled: apply the
+						// shift once, measured from the enabling time.
+						d := a.startShift(a.started)
+						if d.Sign() < 0 {
+							return fmt.Errorf("sim: actor %s: negative start shift %v", a.name, d)
+						}
+						dt, err := e.base.Ticks(d)
+						if err != nil {
+							return fmt.Errorf("sim: actor %s start shift: %w", a.name, err)
+						}
+						if dt > 0 {
+							a.armedFor = a.started
+							a.readyAt = t + dt
+							e.push(event{tick: a.readyAt, kind: evShiftedStart, actor: a.idx})
+							break
+						}
+					}
+				}
+				if err := e.start(a, t); err != nil {
+					return err
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+func (e *engine) run() (*Result, error) {
+	res := &Result{
+		Base:      e.base,
+		Fired:     make(map[string]int64, len(e.actors)),
+		Finished:  make(map[string]int64, len(e.actors)),
+		BusyTicks: make(map[string]int64, len(e.actors)),
+		Starts:    make(map[string][]int64),
+		Transfers: make(map[string][]TransferRec),
+		Occupancy: make(map[string][]OccupancySample),
+		Edges:     make(map[string]EdgeStats, len(e.edges)),
+	}
+
+	// Seed periodic actors' first start attempts.
+	for _, a := range e.actors {
+		if a.mode == Periodic {
+			e.push(event{tick: a.offsetT, kind: evPeriodicStart, actor: a.idx})
+		}
+	}
+	if err := e.startScan(0); err != nil {
+		return nil, err
+	}
+
+	now := int64(0)
+	for e.eq.Len() > 0 && e.stop.finished < e.cfg.Stop.Firings {
+		if e.events >= e.maxEvents {
+			res.Outcome = LimitExceeded
+			e.fill(res, now)
+			return res, nil
+		}
+		ev := heap.Pop(&e.eq).(event)
+		e.events++
+		now = ev.tick
+		a := e.actors[ev.actor]
+		switch ev.kind {
+		case evFinish:
+			e.finish(a, now)
+			if a == e.stop && a.finished >= e.cfg.Stop.Firings {
+				// Stop immediately so no further firing starts at
+				// this tick; counts reflect exactly the requested
+				// horizon.
+				continue
+			}
+		case evShiftedStart:
+			// Handled by the scan below, which sees readyAt <= now.
+		case evPeriodicStart:
+			k := a.started
+			schedTick := a.offsetT + k*a.periodT
+			if schedTick != now {
+				// A stale attempt (actor already started this firing
+				// through some earlier path); ignore.
+				break
+			}
+			if a.busyUntil > now {
+				res.Outcome = Underrun
+				res.Underrun = &UnderrunInfo{Actor: a.name, Firing: k, Tick: now}
+				e.fill(res, now)
+				return res, nil
+			}
+			if ok, p, need := a.enabled(); !ok {
+				res.Outcome = Underrun
+				res.Underrun = &UnderrunInfo{
+					Actor: a.name, Firing: k, Tick: now,
+					Edge: p.edge.name, Have: p.edge.tokens, Need: need,
+				}
+				e.fill(res, now)
+				return res, nil
+			}
+			if err := e.start(a, now); err != nil {
+				return nil, err
+			}
+			if a.started < e.cfg.Stop.Firings || a != e.stop {
+				e.push(event{tick: a.offsetT + a.started*a.periodT, kind: evPeriodicStart, actor: a.idx})
+			}
+		}
+		if e.cfg.CheckInvariants {
+			if err := e.checkInvariants(now); err != nil {
+				return nil, err
+			}
+		}
+		// Drain all events at the same tick so token releases at `now`
+		// are visible before ASAP starts at `now`.
+		if e.eq.Len() > 0 && e.eq[0].tick == now {
+			continue
+		}
+		if err := e.startScan(now); err != nil {
+			return nil, err
+		}
+	}
+
+	if e.stop.finished >= e.cfg.Stop.Firings {
+		res.Outcome = Completed
+	} else {
+		res.Outcome = Deadlocked
+		dl := &DeadlockInfo{Tick: now}
+		for _, a := range e.actors {
+			if ok, p, need := a.enabled(); !ok {
+				dl.Blocked = append(dl.Blocked, BlockedActor{
+					Actor: a.name, Firing: a.started,
+					Edge: p.edge.name, Have: p.edge.tokens, Need: need,
+				})
+			}
+		}
+		sort.Slice(dl.Blocked, func(i, j int) bool { return dl.Blocked[i].Actor < dl.Blocked[j].Actor })
+		res.Deadlock = dl
+	}
+	e.fill(res, now)
+	return res, nil
+}
+
+// fill copies engine state into the result.
+func (e *engine) fill(res *Result, now int64) {
+	res.EndTick = now
+	res.Events = e.events
+	for _, a := range e.actors {
+		res.Fired[a.name] = a.started
+		res.Finished[a.name] = a.finished
+		res.BusyTicks[a.name] = a.busyTicks
+		if a.record {
+			res.Starts[a.name] = a.starts
+		}
+	}
+	for name, es := range e.edges {
+		res.Edges[name] = EdgeStats{
+			Produced: es.produced,
+			Consumed: es.consumed,
+			Peak:     es.peak,
+			Min:      es.min,
+		}
+		if es.record {
+			res.Transfers[name] = es.recs
+		}
+		if es.recordOcc {
+			res.Occupancy[name] = es.occ
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+	"vrdfcap/internal/vrdf"
+)
+
+// Workload supplies the per-firing transfer quanta of one buffer: Prod for
+// the producing task's executions, Cons for the consuming task's. A nil
+// sequence is allowed when the corresponding quanta set is constant.
+type Workload struct {
+	Prod quanta.Sequence
+	Cons quanta.Sequence
+}
+
+// Workloads maps buffer names to their workloads.
+type Workloads map[string]Workload
+
+// UniformWorkloads draws every variable quanta set uniformly at random
+// (deterministically from seed); constant sets use their single value.
+func UniformWorkloads(tg *taskgraph.Graph, seed int64) Workloads {
+	w := make(Workloads)
+	for i, b := range tg.Buffers() {
+		var wl Workload
+		if !b.Prod.IsConstant() {
+			wl.Prod = quanta.Uniform(b.Prod, seed+int64(i)*2)
+		}
+		if !b.Cons.IsConstant() {
+			wl.Cons = quanta.Uniform(b.Cons, seed+int64(i)*2+1)
+		}
+		w[b.DefaultName()] = wl
+	}
+	return w
+}
+
+// Adversary names a deterministic workload pattern used for stress
+// verification.
+type Adversary int
+
+const (
+	// AdversaryMin transfers the minimum quantum in every firing (the
+	// "n equals two in every execution" case of the motivating example).
+	AdversaryMin Adversary = iota
+	// AdversaryMax transfers the maximum quantum in every firing.
+	AdversaryMax
+	// AdversaryAlternate alternates minimum and maximum.
+	AdversaryAlternate
+)
+
+// String names the adversary.
+func (a Adversary) String() string {
+	switch a {
+	case AdversaryMin:
+		return "min"
+	case AdversaryMax:
+		return "max"
+	case AdversaryAlternate:
+		return "alternate"
+	default:
+		return fmt.Sprintf("Adversary(%d)", int(a))
+	}
+}
+
+// Adversaries lists all adversarial patterns.
+var Adversaries = []Adversary{AdversaryMin, AdversaryMax, AdversaryAlternate}
+
+// AdversarialWorkloads builds the named deterministic workload for every
+// buffer with variable quanta.
+func AdversarialWorkloads(tg *taskgraph.Graph, adv Adversary) Workloads {
+	pick := func(set taskgraph.QuantaSet) quanta.Sequence {
+		switch adv {
+		case AdversaryMin:
+			return quanta.MinOf(set)
+		case AdversaryMax:
+			return quanta.MaxOf(set)
+		default:
+			return quanta.AlternateMinMax(set)
+		}
+	}
+	w := make(Workloads)
+	for _, b := range tg.Buffers() {
+		var wl Workload
+		if !b.Prod.IsConstant() {
+			wl.Prod = pick(b.Prod)
+		}
+		if !b.Cons.IsConstant() {
+			wl.Cons = pick(b.Cons)
+		}
+		w[b.DefaultName()] = wl
+	}
+	return w
+}
+
+// TaskGraphConfig builds a simulation Config for a sized task graph: the
+// VRDF construction of §3.3 with the buffer workloads wired to both edges of
+// each pair (a task's production on the data edge and its space consumption
+// are the same quantum, and symmetrically for the consumer).
+//
+// Every buffer must have a positive capacity; run the capacity analysis (or
+// choose capacities) first.
+func TaskGraphConfig(tg *taskgraph.Graph, w Workloads) (Config, *vrdf.Mapping, error) {
+	for _, b := range tg.Buffers() {
+		if b.Capacity <= 0 {
+			return Config{}, nil, fmt.Errorf("sim: buffer %s has capacity %d; size the graph before simulating", b.DefaultName(), b.Capacity)
+		}
+	}
+	g, m, err := vrdf.FromTaskGraph(tg)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg := Config{
+		Graph:  g,
+		Quanta: make(map[string]EdgeQuanta, len(g.Edges())),
+	}
+	for _, p := range m.Pairs {
+		wl := w[p.Buffer]
+		cfg.Quanta[p.Data] = EdgeQuanta{Prod: wl.Prod, Cons: wl.Cons}
+		cfg.Quanta[p.Space] = EdgeQuanta{Prod: wl.Cons, Cons: wl.Prod}
+		// Tokens on the data and space edges of one buffer can never
+		// exceed its capacity (some containers may additionally be
+		// held by in-flight firings). Registered for use with
+		// Config.CheckInvariants.
+		cfg.Invariants = append(cfg.Invariants, TokenInvariant{
+			Name:  "buffer " + p.Buffer,
+			Edges: []string{p.Data, p.Space},
+			Max:   tg.BufferByName(p.Buffer).Capacity,
+		})
+	}
+	return cfg, m, nil
+}
+
+// Verification is the outcome of VerifyThroughput.
+type Verification struct {
+	// OK reports whether the strictly periodic schedule ran to the
+	// requested horizon without underrun.
+	OK bool
+	// Reason explains a failure in one line.
+	Reason string
+	// OffsetTicks and Offset give the start offset used for the
+	// periodic phase: the smallest offset that dominates the observed
+	// self-timed schedule.
+	OffsetTicks int64
+	Offset      ratio.Rat
+	// SelfTimed and Periodic are the raw results of the two phases;
+	// Periodic is the last periodic attempt and nil when the self-timed
+	// phase already failed.
+	SelfTimed *Result
+	Periodic  *Result
+	// Attempts counts the periodic-phase offsets tried.
+	Attempts int
+}
+
+// VerifyOptions tunes VerifyThroughput.
+type VerifyOptions struct {
+	// Firings is the number of constrained-task firings to verify
+	// (default 1000).
+	Firings int64
+	// Workloads supplies buffer quanta; buffers with variable quanta
+	// and no workload entry are an error.
+	Workloads Workloads
+	// Validate enables per-transfer quanta-set checking.
+	Validate bool
+	// MaxEvents caps each phase (0 = engine default).
+	MaxEvents int64
+	// RecordTransfers is passed through to both phases.
+	RecordTransfers []string
+	// Offsets lists candidate periodic start offsets tried before the
+	// automatically derived ones — e.g. the analytic offset from
+	// capacity.Anchored. Each must be non-negative and representable in
+	// the run's time base.
+	Offsets []ratio.Rat
+	// Exec optionally supplies per-task execution-time models (values in
+	// (0, ρ]); tasks without an entry take exactly ρ per firing. List
+	// the values' denominators in ExtraTimes.
+	Exec map[string]func(k int64) ratio.Rat
+	// ExtraTimes extends the run's time base (needed for Exec values and
+	// custom offsets with new denominators).
+	ExtraTimes []ratio.Rat
+}
+
+// VerifyThroughput checks by simulation that the (sized) task graph can
+// satisfy the throughput constraint under the given workload — the
+// experiment the paper runs with its dataflow simulator in §5.
+//
+// Phase 1 runs self-timed and records the constrained task's start times
+// s_k. Phase 2 forces the constrained task to the strictly periodic
+// schedule O + k·τ with O = max_k (s_k − k·τ), the smallest offset that
+// dominates the self-timed schedule, and reports an underrun if any firing
+// is not enabled at its scheduled start. By monotonicity (Definition 1) a
+// sufficient buffer sizing passes this check for every admissible workload.
+func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOptions) (*Verification, error) {
+	if err := c.Validate(tg); err != nil {
+		return nil, err
+	}
+	firings := opts.Firings
+	if firings <= 0 {
+		firings = 1000
+	}
+	cfg, _, err := TaskGraphConfig(tg, opts.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Stop = Stop{Actor: c.Task, Firings: firings}
+	cfg.Validate = opts.Validate
+	cfg.CheckInvariants = opts.Validate
+	cfg.MaxEvents = opts.MaxEvents
+	cfg.RecordStarts = []string{c.Task}
+	cfg.RecordTransfers = opts.RecordTransfers
+	cfg.ExtraTimes = append([]ratio.Rat{c.Period}, opts.Offsets...)
+	cfg.ExtraTimes = append(cfg.ExtraTimes, opts.ExtraTimes...)
+	if len(opts.Exec) > 0 {
+		cfg.Actors = make(map[string]ActorConfig, len(opts.Exec))
+		for task, fn := range opts.Exec {
+			if tg.Task(task) == nil {
+				return nil, fmt.Errorf("sim: Exec model for unknown task %q", task)
+			}
+			cfg.Actors[task] = ActorConfig{Exec: fn}
+		}
+	}
+
+	selfTimed, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	v := &Verification{SelfTimed: selfTimed}
+	if selfTimed.Outcome != Completed {
+		v.Reason = fmt.Sprintf("self-timed phase %s", selfTimed.Outcome)
+		if selfTimed.Deadlock != nil {
+			v.Reason += fmt.Sprintf(" at tick %d", selfTimed.Deadlock.Tick)
+		}
+		return v, nil
+	}
+
+	periodTicks, err := selfTimed.Base.Ticks(c.Period)
+	if err != nil {
+		return nil, fmt.Errorf("sim: period not representable: %w", err)
+	}
+	starts := selfTimed.Starts[c.Task]
+	base := MaxLateness(starts, periodTicks)
+
+	// The throughput guarantee is existential in the offset: a periodic
+	// schedule with *some* offset must exist. Try caller-supplied
+	// offsets (e.g. the analytic anchoring) first, then the smallest
+	// offset that dominates the self-timed schedule, then grow the
+	// slack; a sizing that underruns even with generous slack is
+	// insufficient.
+	var offsetTicks []int64
+	for _, o := range opts.Offsets {
+		t, err := selfTimed.Base.Ticks(o)
+		if err != nil {
+			return nil, fmt.Errorf("sim: candidate offset %v: %w (list its denominator in the graph's times)", o, err)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("sim: candidate offset %v is negative", o)
+		}
+		offsetTicks = append(offsetTicks, t)
+	}
+	for _, slack := range []int64{0, 1, 10, 100} {
+		offsetTicks = append(offsetTicks, base+slack*periodTicks)
+	}
+	for _, ot := range offsetTicks {
+		v.Attempts++
+		v.OffsetTicks = ot
+		v.Offset = selfTimed.Base.Rat(v.OffsetTicks)
+
+		pcfg := cfg
+		pcfg.Actors = make(map[string]ActorConfig, len(cfg.Actors)+1)
+		for k, ac := range cfg.Actors {
+			pcfg.Actors[k] = ac
+		}
+		constrained := ActorConfig{Mode: Periodic, Offset: v.Offset, Period: c.Period}
+		if prev, ok := cfg.Actors[c.Task]; ok {
+			constrained.Exec = prev.Exec
+		}
+		pcfg.Actors[c.Task] = constrained
+		periodic, err := Run(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		v.Periodic = periodic
+		switch periodic.Outcome {
+		case Completed:
+			v.OK = true
+			v.Reason = ""
+			return v, nil
+		case Underrun:
+			v.Reason = periodic.Underrun.String()
+		default:
+			v.Reason = fmt.Sprintf("periodic phase %s", periodic.Outcome)
+		}
+	}
+	return v, nil
+}
+
+// MaxLateness returns max_k (starts[k] − k·periodTicks): the smallest offset
+// O such that the periodic schedule O + k·period dominates the observed
+// start times. Returns 0 for an empty slice.
+func MaxLateness(starts []int64, periodTicks int64) int64 {
+	var max int64
+	for k, s := range starts {
+		l := s - int64(k)*periodTicks
+		if k == 0 || l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// AveragePeriodTicks returns the mean distance between consecutive starts,
+// in ticks, as a rational. Needs at least two starts.
+func AveragePeriodTicks(starts []int64) (ratio.Rat, error) {
+	if len(starts) < 2 {
+		return ratio.Rat{}, fmt.Errorf("sim: need at least two starts, got %d", len(starts))
+	}
+	span := starts[len(starts)-1] - starts[0]
+	return ratio.MustNew(span, int64(len(starts)-1)), nil
+}
+
+// JitterTicks returns the peak-to-peak jitter of the inter-start distances
+// in ticks: max gap minus min gap. Zero for strictly periodic starts.
+// Needs at least two starts.
+func JitterTicks(starts []int64) (int64, error) {
+	if len(starts) < 2 {
+		return 0, fmt.Errorf("sim: need at least two starts, got %d", len(starts))
+	}
+	minGap, maxGap := int64(1<<62), int64(0)
+	for i := 1; i < len(starts); i++ {
+		g := starts[i] - starts[i-1]
+		if g < minGap {
+			minGap = g
+		}
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap - minGap, nil
+}

@@ -1,0 +1,352 @@
+// Package taskgraph implements the task model of Wiggers et al. (DATE 2008),
+// §3.1: a weakly connected directed graph T = (W, B, ξ, λ, κ, ζ) whose
+// vertices are tasks and whose arcs are circular FIFO buffers.
+//
+// A task only starts an execution when the previous execution has finished,
+// its input buffer holds sufficient full containers and its output buffer
+// holds sufficient empty containers for the whole execution (back-pressure;
+// the C-HEAP execution condition). The number of containers transferred may
+// differ per execution and is drawn from the finite sets ξ(b) (production)
+// and λ(b) (consumption). κ(w) is the worst-case response time of task w
+// under its run-time arbiter, and ζ(b) is the capacity of buffer b.
+//
+// The analysis of the paper — and therefore this library's capacity
+// computation — is restricted to chains: every task has at most one input
+// buffer and at most one output buffer, and the throughput constraint is
+// placed on the task without output buffers (the sink) or the task without
+// input buffers (the source).
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"vrdfcap/internal/ratio"
+)
+
+// Task is a node of the task graph.
+type Task struct {
+	// Name identifies the task; unique within a graph.
+	Name string
+	// WCRT is the worst-case response time κ(w): the maximum difference
+	// between the time sufficient containers are present to enable an
+	// execution and the time that execution finishes. Must be positive.
+	WCRT ratio.Rat
+}
+
+// Buffer is a circular FIFO buffer b_ab over which task Producer sends data
+// to task Consumer.
+type Buffer struct {
+	// Name identifies the buffer; unique within a graph. Optional on
+	// input: an empty name is replaced by "producer->consumer".
+	Name string
+	// Producer and Consumer name the communicating tasks.
+	Producer string
+	Consumer string
+	// Prod is ξ(b): the set of possible production quanta per execution
+	// of the producer (equals the number of empty containers the producer
+	// requires before starting).
+	Prod QuantaSet
+	// Cons is λ(b): the set of possible consumption quanta per execution
+	// of the consumer.
+	Cons QuantaSet
+	// Capacity is ζ(b), in containers. Zero means "not yet computed".
+	Capacity int64
+	// ContainerBytes is the fixed size of one container in bytes ("all
+	// containers in a buffer have a fixed size", §3.1); optional (zero
+	// means unspecified) and used only for memory reporting:
+	// memory = ζ(b) · ContainerBytes.
+	ContainerBytes int64
+}
+
+// DefaultName returns the buffer's name, or "producer->consumer" when unset.
+func (b Buffer) DefaultName() string {
+	if b.Name != "" {
+		return b.Name
+	}
+	return b.Producer + "->" + b.Consumer
+}
+
+// Graph is a task graph. Build one with New and the Add methods, then call
+// Validate (or ValidateChain) before analysis.
+type Graph struct {
+	tasks   []*Task
+	byName  map[string]*Task
+	buffers []*Buffer
+	bufByN  map[string]*Buffer
+}
+
+// New returns an empty task graph.
+func New() *Graph {
+	return &Graph{
+		byName: make(map[string]*Task),
+		bufByN: make(map[string]*Buffer),
+	}
+}
+
+// AddTask adds a task with the given name and worst-case response time.
+func (g *Graph) AddTask(name string, wcrt ratio.Rat) (*Task, error) {
+	if name == "" {
+		return nil, fmt.Errorf("taskgraph: empty task name")
+	}
+	if _, dup := g.byName[name]; dup {
+		return nil, fmt.Errorf("taskgraph: duplicate task %q", name)
+	}
+	if wcrt.Sign() <= 0 {
+		return nil, fmt.Errorf("taskgraph: task %q: worst-case response time must be positive, got %v", name, wcrt)
+	}
+	t := &Task{Name: name, WCRT: wcrt}
+	g.tasks = append(g.tasks, t)
+	g.byName[name] = t
+	return t, nil
+}
+
+// AddBuffer adds a buffer from producer to consumer with production quanta
+// prod (ξ) and consumption quanta cons (λ). Both tasks must already exist.
+func (g *Graph) AddBuffer(b Buffer) (*Buffer, error) {
+	if _, ok := g.byName[b.Producer]; !ok {
+		return nil, fmt.Errorf("taskgraph: buffer %q: unknown producer %q", b.DefaultName(), b.Producer)
+	}
+	if _, ok := g.byName[b.Consumer]; !ok {
+		return nil, fmt.Errorf("taskgraph: buffer %q: unknown consumer %q", b.DefaultName(), b.Consumer)
+	}
+	if b.Producer == b.Consumer {
+		return nil, fmt.Errorf("taskgraph: buffer %q: self loop on %q", b.DefaultName(), b.Producer)
+	}
+	if !b.Prod.IsValid() {
+		return nil, fmt.Errorf("taskgraph: buffer %q: invalid production quanta", b.DefaultName())
+	}
+	if !b.Cons.IsValid() {
+		return nil, fmt.Errorf("taskgraph: buffer %q: invalid consumption quanta", b.DefaultName())
+	}
+	if b.Capacity < 0 {
+		return nil, fmt.Errorf("taskgraph: buffer %q: negative capacity %d", b.DefaultName(), b.Capacity)
+	}
+	if b.ContainerBytes < 0 {
+		return nil, fmt.Errorf("taskgraph: buffer %q: negative container size %d", b.DefaultName(), b.ContainerBytes)
+	}
+	nb := b // copy
+	nb.Name = b.DefaultName()
+	if _, dup := g.bufByN[nb.Name]; dup {
+		return nil, fmt.Errorf("taskgraph: duplicate buffer %q", nb.Name)
+	}
+	g.buffers = append(g.buffers, &nb)
+	g.bufByN[nb.Name] = &nb
+	return &nb, nil
+}
+
+// Task returns the task with the given name, or nil.
+func (g *Graph) Task(name string) *Task { return g.byName[name] }
+
+// BufferByName returns the buffer with the given name, or nil.
+func (g *Graph) BufferByName(name string) *Buffer { return g.bufByN[name] }
+
+// Tasks returns the tasks in insertion order. The slice is shared; callers
+// must not modify it.
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// Buffers returns the buffers in insertion order. The slice is shared;
+// callers must not modify it.
+func (g *Graph) Buffers() []*Buffer { return g.buffers }
+
+// Inputs returns the buffers consumed by the named task.
+func (g *Graph) Inputs(task string) []*Buffer {
+	var out []*Buffer
+	for _, b := range g.buffers {
+		if b.Consumer == task {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Outputs returns the buffers produced by the named task.
+func (g *Graph) Outputs(task string) []*Buffer {
+	var out []*Buffer
+	for _, b := range g.buffers {
+		if b.Producer == task {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants common to all task graphs:
+// non-emptiness, reference integrity (guaranteed by construction) and weak
+// connectivity.
+func (g *Graph) Validate() error {
+	if len(g.tasks) == 0 {
+		return fmt.Errorf("taskgraph: graph has no tasks")
+	}
+	if !g.weaklyConnected() {
+		return fmt.Errorf("taskgraph: graph is not weakly connected")
+	}
+	return nil
+}
+
+// ValidateChain checks Validate plus the chain restriction of the paper:
+// every task has at most one input buffer and at most one output buffer.
+func (g *Graph) ValidateChain() error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	for _, t := range g.tasks {
+		if n := len(g.Inputs(t.Name)); n > 1 {
+			return fmt.Errorf("taskgraph: task %q has %d input buffers; chains allow at most one", t.Name, n)
+		}
+		if n := len(g.Outputs(t.Name)); n > 1 {
+			return fmt.Errorf("taskgraph: task %q has %d output buffers; chains allow at most one", t.Name, n)
+		}
+	}
+	// A weakly connected graph whose degrees are <=1 in and <=1 out is a
+	// chain exactly when it has len(tasks)-1 buffers (no cycle).
+	if len(g.buffers) != len(g.tasks)-1 {
+		return fmt.Errorf("taskgraph: %d tasks need %d buffers to form a chain, got %d",
+			len(g.tasks), len(g.tasks)-1, len(g.buffers))
+	}
+	return nil
+}
+
+// Chain returns the tasks ordered from source to sink and the buffers in the
+// same order (buffer i connects task i to task i+1). It fails if the graph
+// is not a valid chain.
+func (g *Graph) Chain() (tasks []*Task, buffers []*Buffer, err error) {
+	if err := g.ValidateChain(); err != nil {
+		return nil, nil, err
+	}
+	if len(g.tasks) == 1 {
+		return []*Task{g.tasks[0]}, nil, nil
+	}
+	next := make(map[string]*Buffer, len(g.buffers))
+	hasIn := make(map[string]bool, len(g.tasks))
+	for _, b := range g.buffers {
+		next[b.Producer] = b
+		hasIn[b.Consumer] = true
+	}
+	var src *Task
+	for _, t := range g.tasks {
+		if !hasIn[t.Name] {
+			src = t
+			break
+		}
+	}
+	if src == nil {
+		return nil, nil, fmt.Errorf("taskgraph: no source task (cycle?)")
+	}
+	cur := src
+	for {
+		tasks = append(tasks, cur)
+		b, ok := next[cur.Name]
+		if !ok {
+			break
+		}
+		buffers = append(buffers, b)
+		cur = g.byName[b.Consumer]
+	}
+	if len(tasks) != len(g.tasks) {
+		return nil, nil, fmt.Errorf("taskgraph: chain walk visited %d of %d tasks", len(tasks), len(g.tasks))
+	}
+	return tasks, buffers, nil
+}
+
+// Source returns the unique task without input buffers in a valid chain.
+func (g *Graph) Source() (*Task, error) {
+	tasks, _, err := g.Chain()
+	if err != nil {
+		return nil, err
+	}
+	return tasks[0], nil
+}
+
+// Sink returns the unique task without output buffers in a valid chain.
+func (g *Graph) Sink() (*Task, error) {
+	tasks, _, err := g.Chain()
+	if err != nil {
+		return nil, err
+	}
+	return tasks[len(tasks)-1], nil
+}
+
+// Clone returns a deep copy of the graph. Capacities are copied too, so a
+// clone can be resized without disturbing the original.
+func (g *Graph) Clone() *Graph {
+	ng := New()
+	for _, t := range g.tasks {
+		if _, err := ng.AddTask(t.Name, t.WCRT); err != nil {
+			panic("taskgraph: clone of valid graph failed: " + err.Error())
+		}
+	}
+	for _, b := range g.buffers {
+		if _, err := ng.AddBuffer(*b); err != nil {
+			panic("taskgraph: clone of valid graph failed: " + err.Error())
+		}
+	}
+	return ng
+}
+
+func (g *Graph) weaklyConnected() bool {
+	if len(g.tasks) <= 1 {
+		return true
+	}
+	adj := make(map[string][]string, len(g.tasks))
+	for _, b := range g.buffers {
+		adj[b.Producer] = append(adj[b.Producer], b.Consumer)
+		adj[b.Consumer] = append(adj[b.Consumer], b.Producer)
+	}
+	seen := map[string]bool{g.tasks[0].Name: true}
+	stack := []string{g.tasks[0].Name}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return len(seen) == len(g.tasks)
+}
+
+// Constraint is a throughput requirement: the named task must execute
+// strictly periodically with the given period. In a chain the paper requires
+// the constrained task to be the sink or the source.
+type Constraint struct {
+	// Task names the throughput-determining task (vτ in the paper).
+	Task string
+	// Period is the required strict period τ between consecutive starts.
+	// Must be positive.
+	Period ratio.Rat
+}
+
+// Validate checks the constraint against the chain graph: the task must
+// exist, the period must be positive, and the task must be the chain's sink
+// or source.
+func (c Constraint) Validate(g *Graph) error {
+	if c.Period.Sign() <= 0 {
+		return fmt.Errorf("taskgraph: constraint period must be positive, got %v", c.Period)
+	}
+	if g.Task(c.Task) == nil {
+		return fmt.Errorf("taskgraph: constraint on unknown task %q", c.Task)
+	}
+	tasks, _, err := g.Chain()
+	if err != nil {
+		return err
+	}
+	if c.Task != tasks[0].Name && c.Task != tasks[len(tasks)-1].Name {
+		return fmt.Errorf("taskgraph: constrained task %q must be the chain's source %q or sink %q",
+			c.Task, tasks[0].Name, tasks[len(tasks)-1].Name)
+	}
+	return nil
+}
+
+// SortedTaskNames returns all task names in lexical order; handy for
+// deterministic reporting.
+func (g *Graph) SortedTaskNames() []string {
+	names := make([]string, 0, len(g.tasks))
+	for _, t := range g.tasks {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+)
+
+// WriteTransfersCSV writes recorded transfers of one edge as CSV with the
+// header "kind,from,to,tick,time": kind is "prod" or "cons", time is the
+// exact rational form of the tick.
+func WriteTransfersCSV(w io.Writer, recs []sim.TransferRec, base sim.TimeBase) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "from", "to", "tick", "time"}); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		kind := "cons"
+		if rec.Produce {
+			kind = "prod"
+		}
+		row := []string{
+			kind,
+			strconv.FormatInt(rec.From, 10),
+			strconv.FormatInt(rec.To, 10),
+			strconv.FormatInt(rec.Tick, 10),
+			base.Rat(rec.Tick).String(),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteOccupancyCSV writes an edge's token-count timeline as CSV with the
+// header "tick,time,tokens".
+func WriteOccupancyCSV(w io.Writer, samples []sim.OccupancySample, base sim.TimeBase) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tick", "time", "tokens"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		row := []string{
+			strconv.FormatInt(s.Tick, 10),
+			base.Rat(s.Tick).String(),
+			strconv.FormatInt(s.Tokens, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// OccupancyStats summarises an occupancy timeline over [first sample, end].
+type OccupancyStats struct {
+	Peak, Min int64
+	// Mean is the time-weighted mean token count: the average number of
+	// containers occupied, the quantity a memory-dimensioning study
+	// reports next to the worst case.
+	Mean ratio.Rat
+}
+
+// SummariseOccupancy computes statistics over the timeline up to endTick
+// (the last sample's value is held until endTick).
+func SummariseOccupancy(samples []sim.OccupancySample, endTick int64) (OccupancyStats, error) {
+	if len(samples) == 0 {
+		return OccupancyStats{}, fmt.Errorf("trace: empty occupancy timeline")
+	}
+	if endTick < samples[len(samples)-1].Tick {
+		return OccupancyStats{}, fmt.Errorf("trace: end tick %d precedes last sample %d", endTick, samples[len(samples)-1].Tick)
+	}
+	stats := OccupancyStats{Peak: samples[0].Tokens, Min: samples[0].Tokens}
+	var weighted int64
+	for i, s := range samples {
+		if s.Tokens > stats.Peak {
+			stats.Peak = s.Tokens
+		}
+		if s.Tokens < stats.Min {
+			stats.Min = s.Tokens
+		}
+		next := endTick
+		if i+1 < len(samples) {
+			next = samples[i+1].Tick
+		}
+		weighted += s.Tokens * (next - s.Tick)
+	}
+	span := endTick - samples[0].Tick
+	if span <= 0 {
+		stats.Mean = ratio.FromInt(samples[len(samples)-1].Tokens)
+		return stats, nil
+	}
+	stats.Mean = ratio.MustNew(weighted, span)
+	return stats, nil
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+func occupancyRun(t *testing.T) (*sim.Result, string) {
+	t.Helper()
+	g, err := taskgraph.Pair("wa", r(1, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Buffers()[0].Capacity = 7
+	cfg, m, err := sim.TaskGraphConfig(g, sim.Workloads{"wa->wb": {Cons: quanta.Cycle(2, 3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stop = sim.Stop{Actor: "wb", Firings: 20}
+	cfg.RecordTransfers = []string{m.Pairs[0].Data}
+	cfg.RecordOccupancy = []string{m.Pairs[0].Data}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != sim.Completed {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	return res, m.Pairs[0].Data
+}
+
+func TestOccupancyRecording(t *testing.T) {
+	res, edge := occupancyRun(t)
+	occ := res.Occupancy[edge]
+	if len(occ) == 0 {
+		t.Fatal("no occupancy samples")
+	}
+	if occ[0].Tick != 0 || occ[0].Tokens != 0 {
+		t.Errorf("first sample %+v, want initial (0, 0)", occ[0])
+	}
+	// Samples are strictly increasing in time and never negative.
+	for i := 1; i < len(occ); i++ {
+		if occ[i].Tick <= occ[i-1].Tick {
+			t.Fatalf("samples not strictly ordered: %+v after %+v", occ[i], occ[i-1])
+		}
+		if occ[i].Tokens < 0 {
+			t.Fatalf("negative occupancy %+v", occ[i])
+		}
+	}
+	// The timeline records the settled value per instant, while
+	// EdgeStats.Peak conservatively counts the momentary value when a
+	// same-instant production commits before the consumption; so the
+	// timeline peak never exceeds the stats peak and trails it by at
+	// most the largest single transfer.
+	var peak int64
+	for _, s := range occ {
+		if s.Tokens > peak {
+			peak = s.Tokens
+		}
+	}
+	if peak > res.Edges[edge].Peak {
+		t.Errorf("timeline peak %d exceeds stats peak %d", peak, res.Edges[edge].Peak)
+	}
+	if res.Edges[edge].Peak-peak > 3 {
+		t.Errorf("stats peak %d too far above timeline peak %d", res.Edges[edge].Peak, peak)
+	}
+}
+
+func TestSummariseOccupancy(t *testing.T) {
+	samples := []sim.OccupancySample{
+		{Tick: 0, Tokens: 0},
+		{Tick: 2, Tokens: 3},
+		{Tick: 6, Tokens: 1},
+	}
+	// Over [0, 10]: 0 for 2 ticks, 3 for 4 ticks, 1 for 4 ticks.
+	stats, err := SummariseOccupancy(samples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Peak != 3 || stats.Min != 0 {
+		t.Errorf("peak/min = %d/%d", stats.Peak, stats.Min)
+	}
+	if want := ratio.MustNew(16, 10); !stats.Mean.Equal(want) {
+		t.Errorf("mean = %v, want %v", stats.Mean, want)
+	}
+	if _, err := SummariseOccupancy(nil, 10); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	if _, err := SummariseOccupancy(samples, 3); err == nil {
+		t.Error("end before last sample accepted")
+	}
+	// Degenerate single-instant timeline.
+	one := []sim.OccupancySample{{Tick: 5, Tokens: 4}}
+	stats, err = SummariseOccupancy(one, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Mean.Equal(ratio.FromInt(4)) {
+		t.Errorf("degenerate mean = %v", stats.Mean)
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	res, edge := occupancyRun(t)
+	var tbuf bytes.Buffer
+	if err := WriteTransfersCSV(&tbuf, res.Transfers[edge], res.Base); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tbuf.String()), "\n")
+	if lines[0] != "kind,from,to,tick,time" {
+		t.Errorf("transfer header = %q", lines[0])
+	}
+	if len(lines) != len(res.Transfers[edge])+1 {
+		t.Errorf("transfer rows = %d, want %d", len(lines)-1, len(res.Transfers[edge]))
+	}
+	if !strings.HasPrefix(lines[1], "prod,1,3,") {
+		t.Errorf("first transfer row = %q", lines[1])
+	}
+
+	var obuf bytes.Buffer
+	if err := WriteOccupancyCSV(&obuf, res.Occupancy[edge], res.Base); err != nil {
+		t.Fatal(err)
+	}
+	olines := strings.Split(strings.TrimSpace(obuf.String()), "\n")
+	if olines[0] != "tick,time,tokens" {
+		t.Errorf("occupancy header = %q", olines[0])
+	}
+	if len(olines) != len(res.Occupancy[edge])+1 {
+		t.Errorf("occupancy rows = %d, want %d", len(olines)-1, len(res.Occupancy[edge]))
+	}
+}
+
+func TestOccupancyUnknownEdgeRejected(t *testing.T) {
+	g, err := taskgraph.Pair("wa", r(1, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Buffers()[0].Capacity = 3
+	cfg, _, err := sim.TaskGraphConfig(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stop = sim.Stop{Actor: "wb", Firings: 1}
+	cfg.RecordOccupancy = []string{"nope"}
+	if _, err := sim.Run(cfg); err == nil {
+		t.Error("unknown occupancy edge accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Package video models a variable-bit-rate video playback chain — the
+// second application domain the paper's introduction motivates ("smart
+// phones and set-top boxes that can process audio and video streams").
+//
+// The chain mirrors the MP3 case study at video rates:
+//
+//	vBR --512/n--> vVLD --99/11--> vIDCT --11/99--> vDISP @ 25 Hz
+//
+// vBR reads 512-byte blocks from storage; vVLD is a variable-length
+// decoder consuming n bytes per QCIF frame (n depends on the frame's bit
+// rate; a QCIF frame at 32–512 kbit/s and 25 fps spans 160–2560 bytes) and
+// emitting the frame's 99 macroblocks; vIDCT transforms 11 macroblocks per
+// firing (9 firings per frame); the display consumes a full frame of 99
+// blocks strictly periodically at 25 Hz.
+//
+// Like the MP3 decoder, the VLD's consumption changes every execution with
+// the stream content — the data-dependent case the paper's analysis exists
+// for.
+package video
+
+import (
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+// Task names.
+const (
+	TaskBR   = "vBR"
+	TaskVLD  = "vVLD"
+	TaskIDCT = "vIDCT"
+	TaskDISP = "vDISP"
+)
+
+// Transfer quanta.
+const (
+	// BlockBytes is the storage read granularity.
+	BlockBytes = 512
+	// FrameMacroblocks is the number of macroblocks in a QCIF frame.
+	FrameMacroblocks = 99
+	// IDCTBatch is the number of macroblocks transformed per firing.
+	IDCTBatch = 11
+	// FrameRate is the display rate in frames per second.
+	FrameRate = 25
+)
+
+// FrameBytes lists the possible compressed-frame sizes: bit rates 32, 64,
+// 128, 256 and 512 kbit/s at 25 fps.
+func FrameBytes() taskgraph.QuantaSet {
+	return taskgraph.MustQuanta(160, 320, 640, 1280, 2560)
+}
+
+// WCRTs returns response times that just allow the throughput constraint —
+// the per-task minimal start distances φ, with the display comfortably
+// inside its period.
+func WCRTs() map[string]ratio.Rat {
+	return map[string]ratio.Rat{
+		TaskBR:   ratio.MustNew(1, 125), // 8 ms per block read
+		TaskVLD:  ratio.MustNew(1, 25),  // one frame time
+		TaskIDCT: ratio.MustNew(1, 225), // one batch time
+		TaskDISP: ratio.MustNew(1, 100),
+	}
+}
+
+// Constraint returns the display's strict 25 Hz requirement.
+func Constraint() taskgraph.Constraint {
+	return taskgraph.Constraint{Task: TaskDISP, Period: ratio.MustNew(1, FrameRate)}
+}
+
+// Graph builds the playback chain.
+func Graph() (*taskgraph.Graph, error) {
+	w := WCRTs()
+	return taskgraph.BuildChain(
+		[]taskgraph.Stage{
+			{Name: TaskBR, WCRT: w[TaskBR]},
+			{Name: TaskVLD, WCRT: w[TaskVLD]},
+			{Name: TaskIDCT, WCRT: w[TaskIDCT]},
+			{Name: TaskDISP, WCRT: w[TaskDISP]},
+		},
+		[]taskgraph.Link{
+			{Prod: taskgraph.MustQuanta(BlockBytes), Cons: FrameBytes(), ContainerBytes: 1},
+			{Prod: taskgraph.MustQuanta(FrameMacroblocks), Cons: taskgraph.MustQuanta(IDCTBatch), ContainerBytes: 384},
+			{Prod: taskgraph.MustQuanta(IDCTBatch), Cons: taskgraph.MustQuanta(FrameMacroblocks), ContainerBytes: 384},
+		},
+	)
+}
+
+// BufferNames returns the chain's buffer names in order.
+func BufferNames() [3]string {
+	return [3]string{
+		TaskBR + "->" + TaskVLD,
+		TaskVLD + "->" + TaskIDCT,
+		TaskIDCT + "->" + TaskDISP,
+	}
+}

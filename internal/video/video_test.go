@@ -1,0 +1,104 @@
+package video
+
+import (
+	"testing"
+
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+)
+
+func TestPhiPropagation(t *testing.T) {
+	g, err := Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := capacity.Compute(g, Constraint(), capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("video chain infeasible: %v", res.Diagnostics)
+	}
+	want := map[string]ratio.Rat{
+		TaskBR:   ratio.MustNew(1, 125), // 8 ms
+		TaskVLD:  ratio.MustNew(1, 25),  // a frame time
+		TaskIDCT: ratio.MustNew(1, 225), // a batch time
+		TaskDISP: ratio.MustNew(1, 25),  // τ
+	}
+	for task, w := range want {
+		if got := res.Phi[task]; !got.Equal(w) {
+			t.Errorf("φ(%s) = %v, want %v", task, got, w)
+		}
+	}
+}
+
+func TestCapacitiesAndVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation horizon too long for -short")
+	}
+	g, err := Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Constraint()
+	res, err := capacity.Compute(g, c, capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := BufferNames()
+	// Closed-form spot checks: d1 = (1/125+1/25)·64000 + 512+2560−1,
+	// d2 = (1/25+1/225)·2475 + 99+11−1, d3 = ⌊(1/225+1/100)·2475⌋+109.
+	want := []int64{6143, 219, 144}
+	for i, n := range names {
+		if got := res.BufferByName(n).Capacity; got != want[i] {
+			t.Errorf("%s capacity = %d, want %d", n, got, want[i])
+		}
+	}
+	sized, err := capacity.Sized(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, seq := range map[string]quanta.Sequence{
+		"uniform": quanta.Uniform(FrameBytes(), 25),
+		"min":     quanta.MinOf(FrameBytes()),
+		"max":     quanta.MaxOf(FrameBytes()),
+		"bursty":  quanta.Bursty(FrameBytes(), 10, 3),
+	} {
+		v, err := sim.VerifyThroughput(sized, c, sim.VerifyOptions{
+			Firings:   500, // 20 seconds of video
+			Workloads: sim.Workloads{names[0]: {Cons: seq}},
+			Validate:  true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !v.OK {
+			t.Errorf("%s stream: %s", name, v.Reason)
+		}
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	g, err := Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := capacity.Compute(g, Constraint(), capacity.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bytes: d1·1 + d2·384 + d3·384.
+	want := int64(6143 + 219*384 + 144*384)
+	if got := res.TotalMemoryBytes(); got != want {
+		t.Errorf("memory = %d, want %d", got, want)
+	}
+}
+
+func TestFrameBytesSet(t *testing.T) {
+	fb := FrameBytes()
+	if fb.Min() != 160 || fb.Max() != 2560 || fb.Len() != 5 {
+		t.Errorf("FrameBytes = %v", fb)
+	}
+}

@@ -1,0 +1,220 @@
+package vrdf
+
+import (
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+func r(n, d int64) ratio.Rat { return ratio.MustNew(n, d) }
+
+func figure1Graph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g, err := taskgraph.Pair("wa", r(1, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Buffers()[0].Capacity = 4
+	return g
+}
+
+func TestFromTaskGraphFigure2(t *testing.T) {
+	// Constructing the VRDF graph of Figure 1 must yield Figure 2: two
+	// actors, a data edge with (π=3, γ={2,3}, δ=0) and a space edge with
+	// (π={2,3}, γ=3, δ=capacity).
+	tg := figure1Graph(t)
+	g, m, err := FromTaskGraph(tg)
+	if err != nil {
+		t.Fatalf("FromTaskGraph: %v", err)
+	}
+	if len(g.Actors()) != 2 || len(g.Edges()) != 2 {
+		t.Fatalf("got %d actors, %d edges; want 2, 2", len(g.Actors()), len(g.Edges()))
+	}
+	p, ok := m.Pair("wa->wb")
+	if !ok {
+		t.Fatal("mapping lost buffer wa->wb")
+	}
+	data := g.EdgeByName(p.Data)
+	space := g.EdgeByName(p.Space)
+	if data.Src != "wa" || data.Dst != "wb" {
+		t.Errorf("data edge runs %s->%s, want wa->wb", data.Src, data.Dst)
+	}
+	if space.Src != "wb" || space.Dst != "wa" {
+		t.Errorf("space edge runs %s->%s, want wb->wa", space.Src, space.Dst)
+	}
+	if data.Prod.String() != "3" || data.Cons.String() != "{2,3}" {
+		t.Errorf("data quanta π=%v γ=%v", data.Prod, data.Cons)
+	}
+	if space.Prod.String() != "{2,3}" || space.Cons.String() != "3" {
+		t.Errorf("space quanta π=%v γ=%v", space.Prod, space.Cons)
+	}
+	if data.Initial != 0 {
+		t.Errorf("data edge δ=%d, want 0 (buffers start empty)", data.Initial)
+	}
+	if space.Initial != 4 {
+		t.Errorf("space edge δ=%d, want 4 (capacity)", space.Initial)
+	}
+	if g.Actor("wa").Rho.Cmp(r(1, 1)) != 0 {
+		t.Errorf("ρ(va) = %v, want κ(wa) = 1", g.Actor("wa").Rho)
+	}
+	if err := CheckBufferSymmetry(g, m); err != nil {
+		t.Errorf("CheckBufferSymmetry: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFromTaskGraphChainEdges(t *testing.T) {
+	tg, err := taskgraph.BuildChain(
+		[]taskgraph.Stage{{Name: "a", WCRT: r(1, 1)}, {Name: "b", WCRT: r(1, 1)}, {Name: "c", WCRT: r(1, 1)}},
+		[]taskgraph.Link{
+			{Prod: taskgraph.MustQuanta(2), Cons: taskgraph.MustQuanta(1)},
+			{Prod: taskgraph.MustQuanta(3), Cons: taskgraph.MustQuanta(4, 5)},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, m, err := FromTaskGraph(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges()) != 4 {
+		t.Fatalf("3-task chain should map to 4 edges, got %d", len(g.Edges()))
+	}
+	if len(m.Pairs) != 2 {
+		t.Fatalf("want 2 buffer pairs, got %d", len(m.Pairs))
+	}
+	// Middle actor has one input and one output data edge plus the two
+	// space edges: 2 in, 2 out in total.
+	if n := len(g.In("b")); n != 2 {
+		t.Errorf("In(b) = %d edges, want 2", n)
+	}
+	if n := len(g.Out("b")); n != 2 {
+		t.Errorf("Out(b) = %d edges, want 2", n)
+	}
+	if err := CheckBufferSymmetry(g, m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddActorErrors(t *testing.T) {
+	g := New()
+	if _, err := g.AddActor("", r(1, 1)); err == nil {
+		t.Error("empty actor name accepted")
+	}
+	if _, err := g.AddActor("v", ratio.Zero); err == nil {
+		t.Error("zero response time accepted")
+	}
+	if _, err := g.AddActor("v", r(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddActor("v", r(1, 2)); err == nil {
+		t.Error("duplicate actor accepted")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	if _, err := g.AddActor("a", r(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddActor("b", r(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	q := taskgraph.MustQuanta(1)
+	cases := []struct {
+		name string
+		e    Edge
+	}{
+		{"unknown src", Edge{Src: "x", Dst: "b", Prod: q, Cons: q}},
+		{"unknown dst", Edge{Src: "a", Dst: "x", Prod: q, Cons: q}},
+		{"bad prod", Edge{Src: "a", Dst: "b", Cons: q}},
+		{"bad cons", Edge{Src: "a", Dst: "b", Prod: q}},
+		{"negative initial", Edge{Src: "a", Dst: "b", Prod: q, Cons: q, Initial: -1}},
+	}
+	for _, c := range cases {
+		if _, err := g.AddEdge(c.e); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := g.AddEdge(Edge{Name: "e", Src: "a", Dst: "b", Prod: q, Cons: q}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(Edge{Name: "e", Src: "a", Dst: "b", Prod: q, Cons: q}); err == nil {
+		t.Error("duplicate edge name accepted")
+	}
+}
+
+func TestEdgeDefaultName(t *testing.T) {
+	g := New()
+	for _, n := range []string{"a", "b"} {
+		if _, err := g.AddActor(n, r(1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := taskgraph.MustQuanta(1)
+	e, err := g.AddEdge(Edge{Src: "a", Dst: "b", Prod: q, Cons: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Name, "a->b") {
+		t.Errorf("default edge name %q does not mention endpoints", e.Name)
+	}
+}
+
+func TestValidateConnectivity(t *testing.T) {
+	g := New()
+	if err := g.Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+	for _, n := range []string{"a", "b"} {
+		if _, err := g.AddActor(n, r(1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	q := taskgraph.MustQuanta(1)
+	if _, err := g.AddEdge(Edge{Src: "a", Dst: "b", Prod: q, Cons: q}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("connected graph rejected: %v", err)
+	}
+}
+
+func TestCheckBufferSymmetryDetectsCorruption(t *testing.T) {
+	tg := figure1Graph(t)
+	g, m, err := FromTaskGraph(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the space edge's consumption quanta.
+	g.EdgeByName(m.Pairs[0].Space).Cons = taskgraph.MustQuanta(99)
+	if err := CheckBufferSymmetry(g, m); err == nil {
+		t.Error("corrupted pair passed symmetry check")
+	}
+	// Corrupt initial tokens on the data edge.
+	g2, m2, _ := FromTaskGraph(tg)
+	g2.EdgeByName(m2.Pairs[0].Data).Initial = 1
+	if err := CheckBufferSymmetry(g2, m2); err == nil {
+		t.Error("non-empty data edge passed symmetry check")
+	}
+}
+
+func TestMappingPairMissing(t *testing.T) {
+	tg := figure1Graph(t)
+	_, m, err := FromTaskGraph(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Pair("nope"); ok {
+		t.Error("Pair returned ok for unknown buffer")
+	}
+}

@@ -1,0 +1,105 @@
+package vrdfcap
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteReport renders an analysis result as an aligned text report: the
+// constraint, the per-task schedule checks (ρ against φ), the per-buffer
+// capacities under every applicable formula, and any diagnostics.
+func WriteReport(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "throughput constraint: task %s strictly periodic, period %s (%s, policy %s)\n",
+		res.Constraint.Task, res.Constraint.Period, res.Direction, res.Policy); err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\ntask\tρ (WCRT)\tφ (min start distance)\tschedule")
+	for _, ck := range res.Checks {
+		status := "ok"
+		if !ck.OK {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", ck.Task, ck.Rho, ck.Phi, status)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	showMemory := res.TotalMemoryBytes() > 0
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "\nbuffer\tμ (time/container)\teq(3) gap\teq(4) capacity\tbaseline\tselected"
+	if showMemory {
+		header += "\tmemory"
+	}
+	fmt.Fprintln(tw, header)
+	for i := range res.Buffers {
+		b := &res.Buffers[i]
+		base := "-"
+		if b.ConstantRates {
+			base = fmt.Sprintf("%d", b.CapacityBaseline)
+		}
+		row := fmt.Sprintf("%s\t%s\t%s\t%d\t%s\t%d",
+			b.Buffer, b.Mu, b.Distances.SpaceGap, b.CapacityEq4, base, b.Capacity)
+		if showMemory {
+			if b.ContainerBytes > 0 {
+				row += fmt.Sprintf("\t%d B", b.MemoryBytes())
+			} else {
+				row += "\t-"
+			}
+		}
+		fmt.Fprintln(tw, row)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w, "\ntotal capacity: %d containers\n", res.TotalCapacity()); err != nil {
+		return err
+	}
+	if showMemory {
+		if _, err := fmt.Fprintf(w, "total memory: %d bytes\n", res.TotalMemoryBytes()); err != nil {
+			return err
+		}
+	}
+	if !res.Valid {
+		if _, err := fmt.Fprintln(w, "\nWARNING: the throughput constraint cannot be guaranteed:"); err != nil {
+			return err
+		}
+		for _, d := range res.Diagnostics {
+			if _, err := fmt.Fprintf(w, "  - %s\n", d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteVerification renders a simulation-based verification outcome.
+func WriteVerification(w io.Writer, v *Verification) error {
+	if v.OK {
+		if _, err := fmt.Fprintf(w, "verified: strictly periodic schedule sustained (offset %s, %d periodic attempt(s))\n",
+			v.Offset, v.Attempts); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "NOT verified: %s\n", v.Reason); err != nil {
+			return err
+		}
+	}
+	if v.SelfTimed != nil {
+		if _, err := fmt.Fprintf(w, "  self-timed phase: %s after %d events, firings per task: %v\n",
+			v.SelfTimed.Outcome, v.SelfTimed.Events, v.SelfTimed.Fired); err != nil {
+			return err
+		}
+	}
+	if v.Periodic != nil {
+		if _, err := fmt.Fprintf(w, "  periodic phase: %s after %d events\n",
+			v.Periodic.Outcome, v.Periodic.Events); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package vrdfcap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/mp3"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The package-comment example, end to end.
+	g, err := Chain(
+		[]Stage{
+			{Name: "producer", WCRT: Rat(1, 1)},
+			{Name: "consumer", WCRT: Rat(1, 1)},
+		},
+		[]Link{{Prod: Quanta(3), Cons: Quanta(2, 3)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(g, Constraint{Task: "consumer", Period: Rat(3, 1)}, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buffers[0].Capacity != 7 {
+		t.Errorf("quickstart capacity = %d, want 7", res.Buffers[0].Capacity)
+	}
+	sized, res2, err := Size(g, Constraint{Task: "consumer", Period: Rat(3, 1)}, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized.Buffers()[0].Capacity != res2.Buffers[0].Capacity {
+		t.Error("Size did not apply capacities")
+	}
+	v, err := Verify(sized, Constraint{Task: "consumer", Period: Rat(3, 1)}, VerifyOptions{
+		Firings:   200,
+		Workloads: Workloads{"producer->consumer": {Cons: CycleSeq(2, 3)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Errorf("verification failed: %s", v.Reason)
+	}
+}
+
+func TestMP3EndToEndThroughFacade(t *testing.T) {
+	g, err := mp3.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(g, mp3.Constraint(), PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TotalCapacity(); got != 6015+3263+883 {
+		t.Errorf("total = %d", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"vDAC", "6015", "3263", "883", "sink-constrained", "total capacity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportShowsDiagnostics(t *testing.T) {
+	g, err := Pair("wa", Rat(7, 2), "wb", Rat(1, 1), Quanta(3), Quanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(g, Constraint{Task: "wb", Period: Rat(3, 1)}, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "VIOLATED") {
+		t.Errorf("infeasible analysis not flagged:\n%s", out)
+	}
+}
+
+func TestWriteVerification(t *testing.T) {
+	g, err := Pair("wa", Rat(1, 1), "wb", Rat(1, 1), Quanta(3), Quanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized, _, err := Size(g, Constraint{Task: "wb", Period: Rat(3, 1)}, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Verify(sized, Constraint{Task: "wb", Period: Rat(3, 1)}, VerifyOptions{
+		Firings:   100,
+		Workloads: Workloads{"wa->wb": {Cons: ConstantSeq(2)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVerification(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "verified") {
+		t.Errorf("verification output:\n%s", buf.String())
+	}
+}
+
+func TestJSONAndDOTFacade(t *testing.T) {
+	g, err := mp3.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mp3.Constraint()
+	data, err := EncodeJSON(g, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, c2, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == nil || len(g2.Tasks()) != 4 {
+		t.Error("JSON round trip lost data")
+	}
+	var dot bytes.Buffer
+	if err := WriteDOT(&dot, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Error("DOT output broken")
+	}
+	var vdot bytes.Buffer
+	if err := WriteVRDFDOT(&vdot, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vdot.String(), "space:") {
+		t.Error("VRDF DOT lacks space edges")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Rat(6, 4).String() != "3/2" {
+		t.Error("Rat not canonical")
+	}
+	r, err := ParseRat("1/44100")
+	if err != nil || r.Den() != 44100 {
+		t.Errorf("ParseRat: %v, %v", r, err)
+	}
+	q, err := QuantaRange(2, 4)
+	if err != nil || q.Len() != 3 {
+		t.Errorf("QuantaRange: %v, %v", q, err)
+	}
+	if UniformSeq(Quanta(2, 3), 1).At(0) == 0 {
+		t.Error("UniformSeq returned zero")
+	}
+	w := UniformWorkloads(mustMP3(t), 1)
+	if len(w) != 3 {
+		t.Errorf("UniformWorkloads entries = %d", len(w))
+	}
+	if NewGraph() == nil {
+		t.Error("NewGraph returned nil")
+	}
+	if _, err := NewQuanta(); err == nil {
+		t.Error("NewQuanta() accepted empty set")
+	}
+}
+
+func mustMP3(t *testing.T) *Graph {
+	t.Helper()
+	g, err := mp3.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
