@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"vrdfcap"
 	"vrdfcap/internal/capacity"
 	"vrdfcap/internal/mp3"
+	"vrdfcap/internal/parallel"
 	"vrdfcap/internal/quanta"
 	"vrdfcap/internal/sim"
 )
@@ -35,6 +37,7 @@ func run(args []string, out io.Writer) error {
 	firings := fs.Int64("firings", 44100, "DAC firings to verify (default: one second of audio)")
 	seed := fs.Int64("seed", 2008, "seed for the VBR workload")
 	skipVerify := fs.Bool("skip-verify", false, "skip the simulation-based verification")
+	parallelN := fs.Int("parallel", 0, "worker goroutines for the verification workloads (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,7 +102,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\nverifying by simulation (%d DAC firings per workload)...\n", *firings)
+	stats := parallel.Stats{Workers: parallel.Workers(*parallelN)}
+	timer := parallel.StartTimer()
+	fmt.Fprintf(out, "\nverifying by simulation (%d DAC firings per workload, %d workers)...\n",
+		*firings, stats.Workers)
 	streams := []struct {
 		name string
 		seq  vrdfcap.Sequence
@@ -109,23 +115,37 @@ func run(args []string, out io.Writer) error {
 		{"all-max (320 kbit/s)", quanta.MaxOf(mp3.FrameSizes())},
 		{"bitrate walk", quanta.Walk(mp3.FrameSizes(), *seed)},
 	}
-	for _, s := range streams {
-		v, err := vrdfcap.Verify(sized, c, vrdfcap.VerifyOptions{
+	// The streams are independent simulations; run them on the pool and
+	// report in order, failing on the first bad stream as the serial loop
+	// did.
+	verifications, err := parallel.Map(context.Background(), *parallelN, len(streams), func(i int) (*vrdfcap.Verification, error) {
+		return vrdfcap.Verify(sized, c, vrdfcap.VerifyOptions{
 			Firings:   *firings,
-			Workloads: vrdfcap.Workloads{names[0]: {Cons: s.seq}},
+			Workloads: vrdfcap.Workloads{names[0]: {Cons: streams[i].seq}},
 			Validate:  true,
 		})
-		if err != nil {
-			return err
+	})
+	if err != nil {
+		return err
+	}
+	for i, v := range verifications {
+		stats.Probes++
+		if v.SelfTimed != nil {
+			stats.Events += v.SelfTimed.Events
+		}
+		var periodicEvents int64
+		if v.Periodic != nil {
+			periodicEvents = v.Periodic.Events
+			stats.Events += periodicEvents
 		}
 		status := "ok"
 		if !v.OK {
 			status = "FAILED: " + v.Reason
 		}
 		fmt.Fprintf(out, "  %-22s %s (offset %s s, %d events periodic phase)\n",
-			s.name, status, v.Offset, v.Periodic.Events)
+			streams[i].name, status, v.Offset, periodicEvents)
 		if !v.OK {
-			return fmt.Errorf("verification failed for %s", s.name)
+			return fmt.Errorf("verification failed for %s", streams[i].name)
 		}
 	}
 	fmt.Fprintln(out, "all workloads sustained the 44.1 kHz schedule — the computed capacities are sufficient.")
@@ -149,6 +169,15 @@ func run(args []string, out io.Writer) error {
 	} else {
 		fmt.Fprintf(out, "  failed as expected: %s\n", v.Reason)
 	}
+	stats.Probes++
+	if v.SelfTimed != nil {
+		stats.Events += v.SelfTimed.Events
+	}
+	if v.Periodic != nil {
+		stats.Events += v.Periodic.Events
+	}
+	timer.Stop(&stats)
+	fmt.Fprintf(out, "\nrun stats: %s\n", stats)
 	return nil
 }
 

@@ -43,3 +43,36 @@ func TestBadFlag(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+// stripTimings removes the lines whose content legitimately varies between
+// runs (worker counts and wall/CPU times) so outputs can be compared.
+func stripTimings(s string) string {
+	var kept []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "workers)") || strings.HasPrefix(line, "run stats:") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+func TestParallelVerificationMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation horizon too long for -short")
+	}
+	var serial, par bytes.Buffer
+	if err := run([]string{"-firings", "2205", "-parallel", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-firings", "2205", "-parallel", "4"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(serial.String()) != stripTimings(par.String()) {
+		t.Errorf("parallel verification output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), par.String())
+	}
+	if !strings.Contains(par.String(), "run stats: probes=5") {
+		t.Errorf("stats line missing:\n%s", par.String())
+	}
+}

@@ -23,6 +23,8 @@
 //	-latency       print the analytic sink offset and latency bound
 //	-sweep list    comma-separated periods for a trade-off table
 //	-exact         exhaustive deadlock-freedom certificate (small graphs)
+//	-parallel n    worker goroutines for the sweep (0 = GOMAXPROCS)
+//	-stats         print run statistics (probes, events, wall/CPU time)
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 
 	"vrdfcap"
 	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/parallel"
 )
 
 func main() {
@@ -55,6 +58,8 @@ func run(args []string, out io.Writer) error {
 	latency := fs.Bool("latency", false, "print the anchored schedule: analytic sink offset and end-to-end latency bound")
 	sweep := fs.String("sweep", "", "comma-separated periods to sweep for a throughput/buffer trade-off table")
 	exactFlag := fs.Bool("exact", false, "certify the sizing deadlock-free by exhaustive adversarial search (small graphs)")
+	parallelN := fs.Int("parallel", 0, "worker goroutines for the period sweep (0 = GOMAXPROCS, 1 = serial)")
+	statsFlag := fs.Bool("stats", false, "print run statistics (analyses, simulation events, wall/CPU time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,10 +87,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	stats := parallel.Stats{Workers: parallel.Workers(*parallelN)}
+	timer := parallel.StartTimer()
 	sized, res, err := vrdfcap.Size(g, *c, policy)
 	if err != nil {
 		return err
 	}
+	stats.Probes++
 	if err := vrdfcap.WriteReport(out, res); err != nil {
 		return err
 	}
@@ -103,10 +111,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		pts, err := vrdfcap.SweepPeriods(g, c.Task, periods, policy)
+		pts, err := vrdfcap.SweepPeriodsOpt(g, c.Task, periods, policy, vrdfcap.SweepOptions{Workers: *parallelN})
 		if err != nil {
 			return err
 		}
+		stats.Probes += int64(len(pts))
 		fmt.Fprintln(out, "\nperiod sweep (throughput/buffer trade-off):")
 		for _, pt := range pts {
 			if pt.Valid {
@@ -139,6 +148,13 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
+			stats.Probes++
+			if v.SelfTimed != nil {
+				stats.Events += v.SelfTimed.Events
+			}
+			if v.Periodic != nil {
+				stats.Events += v.Periodic.Events
+			}
 			fmt.Fprintln(out)
 			if err := vrdfcap.WriteVerification(out, v); err != nil {
 				return err
@@ -151,6 +167,10 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\n%s\n", data)
+	}
+	if *statsFlag {
+		timer.Stop(&stats)
+		fmt.Fprintf(out, "\nrun stats: %s\n", &stats)
 	}
 	return nil
 }

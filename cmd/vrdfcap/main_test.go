@@ -186,3 +186,27 @@ func TestRunExactCertificate(t *testing.T) {
 		t.Errorf("guard message missing:\n%s", out.String())
 	}
 }
+
+func TestRunParallelSweepAndStats(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	sweep := "1/44100,1/40000,1/30000"
+	var serial, par bytes.Buffer
+	if err := run([]string{"-sweep", sweep, "-parallel", "1", path}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", sweep, "-parallel", "4", path}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), par.String())
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", sweep, "-parallel", "4", "-stats", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// 1 analysis + 3 sweep points; no verification.
+	if !strings.Contains(out.String(), "run stats: probes=4 sim_events=0 workers=4") {
+		t.Errorf("stats line missing or wrong:\n%s", out.String())
+	}
+}

@@ -16,6 +16,8 @@ type (
 	ChainSchedule = capacity.ChainSchedule
 	// SweepPoint is one point of a throughput/buffer trade-off curve.
 	SweepPoint = capacity.SweepPoint
+	// SweepOptions tunes the worker count of SweepPeriodsOpt.
+	SweepOptions = capacity.SweepOptions
 
 	// TDM and RoundRobin derive worst-case response times κ from
 	// worst-case execution times and arbiter settings (§3.1).
@@ -44,6 +46,13 @@ func AnchoredSchedule(res *Result) (*ChainSchedule, error) {
 // throughput/buffer trade-off curve for design-space exploration.
 func SweepPeriods(g *Graph, task string, periods []RatNum, p Policy) ([]SweepPoint, error) {
 	return capacity.SweepPeriods(g, task, periods, p)
+}
+
+// SweepPeriodsOpt is SweepPeriods with explicit options: Workers bounds the
+// number of periods analysed concurrently (0 selects GOMAXPROCS, 1 forces
+// the serial path); the results are identical for every setting.
+func SweepPeriodsOpt(g *Graph, task string, periods []RatNum, p Policy, opts SweepOptions) ([]SweepPoint, error) {
+	return capacity.SweepPeriodsOpt(g, task, periods, p, opts)
 }
 
 // MinimalFeasiblePeriod returns the first feasible point of an ascending

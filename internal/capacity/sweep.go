@@ -1,8 +1,11 @@
 package capacity
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
+	"vrdfcap/internal/parallel"
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/taskgraph"
 )
@@ -21,35 +24,77 @@ type SweepPoint struct {
 	Result *Result
 }
 
+// SweepOptions tunes SweepPeriodsOpt.
+type SweepOptions struct {
+	// Workers bounds the number of periods analysed concurrently: 0
+	// selects GOMAXPROCS, 1 forces the serial path. Every period is an
+	// independent pure computation, so the results — ordering, values and
+	// the error reported on a bad period — are identical for every
+	// setting (see internal/parallel for the first-error contract).
+	Workers int
+}
+
 // SweepPeriods analyses the chain at every given period and returns the
 // throughput/buffer trade-off curve — the design-space exploration that
 // Stuijk et al. ([11] in the paper) perform for constant-rate SDF graphs,
 // here available for data-dependent chains. Tighter periods need larger
 // buffers; periods below a task's response-time limit are reported
-// infeasible rather than skipped.
+// infeasible rather than skipped. Periods are evaluated concurrently
+// (bounded by GOMAXPROCS); use SweepPeriodsOpt to control the worker
+// count.
 func SweepPeriods(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy) ([]SweepPoint, error) {
+	return SweepPeriodsOpt(g, task, periods, p, SweepOptions{})
+}
+
+// SweepPeriodsOpt is SweepPeriods with explicit options.
+func SweepPeriodsOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy, opts SweepOptions) ([]SweepPoint, error) {
 	if len(periods) == 0 {
 		return nil, fmt.Errorf("capacity: empty period sweep")
 	}
-	out := make([]SweepPoint, 0, len(periods))
-	for _, tau := range periods {
+	eval := func(i int) (SweepPoint, error) {
+		tau := periods[i]
 		res, err := Compute(g, taskgraph.Constraint{Task: task, Period: tau}, p)
 		if err != nil {
-			return nil, fmt.Errorf("capacity: period %v: %w", tau, err)
+			return SweepPoint{}, fmt.Errorf("capacity: period %v: %w", tau, err)
 		}
-		out = append(out, SweepPoint{
+		return SweepPoint{
 			Period: tau,
 			Valid:  res.Valid,
 			Total:  res.TotalCapacity(),
 			Result: res,
-		})
+		}, nil
 	}
-	return out, nil
+	if parallel.Workers(opts.Workers) == 1 {
+		out := make([]SweepPoint, 0, len(periods))
+		for i := range periods {
+			pt, err := eval(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+		return out, nil
+	}
+	return parallel.Map(context.Background(), opts.Workers, len(periods), eval)
 }
 
-// MinimalFeasiblePeriod returns the smallest period in the (ascending)
-// candidate list at which the chain is feasible, or an error if none is.
+// MinimalFeasiblePeriod returns the smallest candidate period at which the
+// chain is feasible, or an error if none is. The candidate list is expected
+// in ascending order; a list that is not ascending is sorted into a copy
+// first, so the returned point is the true minimum regardless of input
+// order (an unsorted list used to silently return the first feasible — not
+// the minimal — period).
 func MinimalFeasiblePeriod(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy) (SweepPoint, error) {
+	if len(periods) == 0 {
+		return SweepPoint{}, fmt.Errorf("capacity: empty period sweep")
+	}
+	less := func(i, j int) bool { return periods[i].Less(periods[j]) }
+	if !sort.SliceIsSorted(periods, less) {
+		sorted := make([]ratio.Rat, len(periods))
+		copy(sorted, periods)
+		periods = sorted
+		sort.Slice(periods, less)
+	}
 	pts, err := SweepPeriods(g, task, periods, p)
 	if err != nil {
 		return SweepPoint{}, err

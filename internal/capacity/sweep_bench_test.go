@@ -1,0 +1,39 @@
+package capacity
+
+import (
+	"testing"
+
+	"vrdfcap/internal/graphgen"
+	"vrdfcap/internal/ratio"
+)
+
+// benchmarkSweep sweeps 64 periods over a 40-stage chain; per-period
+// analysis cost dominates the pool overhead, so the parallel variant
+// approaches a GOMAXPROCS-fold speedup on multi-core runners.
+func benchmarkSweep(b *testing.B, workers int) {
+	cfg := graphgen.Defaults(7)
+	cfg.MinTasks, cfg.MaxTasks = 40, 40
+	g, c, err := graphgen.Random(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	periods := make([]ratio.Rat, 64)
+	for k := range periods {
+		// τ·(k+20)/20: starts at the constraint period (feasible by
+		// construction) and relaxes additively from there.
+		periods[k] = c.Period.MulInt(int64(k + 20)).DivInt(20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := SweepPeriodsOpt(g, c.Task, periods, PolicyEquation4, SweepOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pts[0].Valid {
+			b.Fatalf("constraint period %v reported infeasible", pts[0].Period)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }

@@ -1,8 +1,11 @@
 package capacity
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
+	"vrdfcap/internal/graphgen"
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/taskgraph"
 )
@@ -74,5 +77,95 @@ func TestSweepEmptyRejected(t *testing.T) {
 	g := sweepPair(t)
 	if _, err := SweepPeriods(g, "wb", nil, PolicyEquation4); err == nil {
 		t.Error("empty sweep accepted")
+	}
+	if _, err := MinimalFeasiblePeriod(g, "wb", nil, PolicyEquation4); err == nil {
+		t.Error("empty minimal-period sweep accepted")
+	}
+}
+
+// TestMinimalFeasiblePeriodShuffled is the regression test for the
+// ascending-order contract: an unsorted candidate list used to silently
+// return the first feasible period encountered, not the minimal one.
+func TestMinimalFeasiblePeriodShuffled(t *testing.T) {
+	g := sweepPair(t)
+	ascending := []ratio.Rat{r(1, 4), r(1, 2), r(1, 1), r(3, 2), r(2, 1), r(4, 1)}
+	want, err := MinimalFeasiblePeriod(g, "wb", ascending, PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Period.Equal(r(1, 1)) {
+		t.Fatalf("ascending list: minimal period %v, want 1", want.Period)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := make([]ratio.Rat, len(ascending))
+		copy(shuffled, ascending)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := MinimalFeasiblePeriod(g, "wb", shuffled, PolicyEquation4)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Period.Equal(want.Period) || got.Total != want.Total {
+			t.Fatalf("trial %d: shuffled list %v returned period %v (total %d), want %v (total %d)",
+				trial, shuffled, got.Period, got.Total, want.Period, want.Total)
+		}
+		// The input list must not be mutated by the internal sort.
+		for i := range shuffled {
+			if i > 0 && shuffled[i].Less(shuffled[i-1]) {
+				break // still shuffled: good
+			}
+			if i == len(shuffled)-1 {
+				t.Logf("trial %d: shuffle happened to be sorted", trial)
+			}
+		}
+	}
+}
+
+// TestSweepSerialParallelEquivalence pins the tentpole contract: the
+// parallel sweep returns bit-identical results to the serial loop on
+// seeded random chains — same ordering, same analyses, same totals.
+func TestSweepSerialParallelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := graphgen.Defaults(seed)
+		cfg.ZeroConsumption = seed%3 == 0
+		g, c, err := graphgen.Random(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Period axis straddling the feasibility frontier: τ·k/8 for
+		// k = 2..17 — tighter than τ below k = 8, relaxed above.
+		var periods []ratio.Rat
+		for k := int64(2); k < 18; k++ {
+			periods = append(periods, c.Period.MulInt(k).DivInt(8))
+		}
+		serial, err := SweepPeriodsOpt(g, c.Task, periods, PolicyEquation4, SweepOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		par, err := SweepPeriodsOpt(g, c.Task, periods, PolicyEquation4, SweepOptions{Workers: 8})
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("seed %d: serial and parallel sweeps differ\nserial:   %+v\nparallel: %+v", seed, serial, par)
+		}
+	}
+}
+
+// TestSweepErrorDeterminism checks that a failing period reports the same
+// error under both paths: the first failure in list order, regardless of
+// which worker hits an error first.
+func TestSweepErrorDeterminism(t *testing.T) {
+	g := sweepPair(t)
+	// An unknown task makes Compute fail for every period; the reported
+	// period must be the first one in list order either way.
+	periods := []ratio.Rat{r(5, 1), r(7, 1), r(9, 1)}
+	_, serialErr := SweepPeriodsOpt(g, "nope", periods, PolicyEquation4, SweepOptions{Workers: 1})
+	_, parErr := SweepPeriodsOpt(g, "nope", periods, PolicyEquation4, SweepOptions{Workers: 8})
+	if serialErr == nil || parErr == nil {
+		t.Fatalf("expected errors, got %v and %v", serialErr, parErr)
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("error mismatch:\nserial:   %v\nparallel: %v", serialErr, parErr)
 	}
 }

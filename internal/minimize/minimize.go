@@ -11,78 +11,159 @@
 // Feasibility is monotone in every buffer capacity (more space never hurts,
 // by the monotonicity of VRDF execution), so each buffer admits binary
 // search; chains are minimised by coordinate-descent passes until a
-// fixpoint.
+// fixpoint. Because every feasibility probe is an independent pure
+// simulation, the searches parallelise: per-workload simulations run
+// concurrently inside a check, and the binary searches probe several
+// speculative capacities per round (monotonicity makes the narrowing exact
+// whichever probes come back first). The result of a search is identical
+// for every worker count; only the probe count may differ.
 package minimize
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
+	"vrdfcap/internal/parallel"
 	"vrdfcap/internal/sim"
 	"vrdfcap/internal/taskgraph"
 )
 
 // CheckFunc reports whether a capacity assignment (buffer name → capacity)
 // is feasible. Implementations must be monotone: if caps is feasible, any
-// pointwise-larger assignment must be too.
+// pointwise-larger assignment must be too. When a search or check runs with
+// more than one worker, the CheckFunc must additionally be safe for
+// concurrent calls (the checks built by this package are).
 type CheckFunc func(caps map[string]int64) (bool, error)
+
+// Options tunes the parallelism and guards of checks and searches.
+type Options struct {
+	// Workers bounds concurrent simulations and speculative probes: 0
+	// selects GOMAXPROCS, 1 forces the serial path. The outcome is
+	// identical for every setting.
+	Workers int
+	// MaxEvents caps each simulation run as a runaway guard (0 = engine
+	// default). Hitting the cap is reported as an error, never as
+	// infeasibility.
+	MaxEvents int64
+}
+
+func optOf(opts []Options) Options {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options{}
+}
+
+// feasibleOutcome maps a simulation outcome onto feasibility. Only two
+// outcomes answer "does this capacity assignment keep the graph live":
+// Completed (feasible) and Deadlocked (infeasible). Anything else — an
+// Underrun from a misconfigured periodic actor, a LimitExceeded runaway
+// guard — carries no evidence about capacities, and treating it as
+// "infeasible" would silently poison the monotone search; it is an error.
+func feasibleOutcome(res *sim.Result) (bool, error) {
+	switch res.Outcome {
+	case sim.Completed:
+		return true, nil
+	case sim.Deadlocked:
+		return false, nil
+	default:
+		return false, fmt.Errorf("minimize: simulation ended with outcome %v, which says nothing about capacity feasibility (expected completed or deadlocked)", res.Outcome)
+	}
+}
+
+// errInfeasible is the sentinel that lets the worker pool stop early on a
+// definitively infeasible workload while preserving the serial loop's
+// lowest-index-first semantics.
+var errInfeasible = errors.New("minimize: workload infeasible")
+
+// allFeasible evaluates one feasibility predicate per workload index on the
+// pool and ANDs the answers. Like the serial loop it replaces, the verdict
+// is decided by the lowest failing index: an infeasible workload there
+// yields (false, nil) even if a higher index would have errored.
+func allFeasible(workers, n int, eval func(i int) (bool, error)) (bool, error) {
+	_, err := parallel.Map(context.Background(), workers, n, func(i int) (struct{}, error) {
+		ok, err := eval(i)
+		if err != nil {
+			return struct{}{}, err
+		}
+		if !ok {
+			return struct{}{}, errInfeasible
+		}
+		return struct{}{}, nil
+	})
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, errInfeasible):
+		return false, nil
+	default:
+		return false, err
+	}
+}
 
 // DeadlockFreeCheck returns a CheckFunc that accepts an assignment when the
 // self-timed execution of the sized graph completes `firings` firings of
-// `task` under every given workload without deadlocking.
-func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads []sim.Workloads) CheckFunc {
+// `task` under every given workload without deadlocking. The per-workload
+// simulations run concurrently on up to Options.Workers goroutines.
+func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads []sim.Workloads, opts ...Options) CheckFunc {
+	o := optOf(opts)
 	return func(caps map[string]int64) (bool, error) {
 		sized, err := applyCaps(g, caps)
 		if err != nil {
 			return false, err
 		}
-		for _, w := range workloads {
-			cfg, _, err := sim.TaskGraphConfig(sized, w)
+		return allFeasible(o.Workers, len(workloads), func(i int) (bool, error) {
+			cfg, _, err := sim.TaskGraphConfig(sized, workloads[i])
 			if err != nil {
 				return false, err
 			}
 			cfg.Stop = sim.Stop{Actor: task, Firings: firings}
+			cfg.MaxEvents = o.MaxEvents
 			res, err := sim.Run(cfg)
 			if err != nil {
 				return false, err
 			}
-			if res.Outcome != sim.Completed {
-				return false, nil
-			}
-		}
-		return true, nil
+			return feasibleOutcome(res)
+		})
 	}
 }
 
 // ThroughputCheck returns a CheckFunc that accepts an assignment when
-// sim.VerifyThroughput succeeds for every given workload.
-func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, workloads []sim.Workloads) CheckFunc {
+// sim.VerifyThroughput succeeds for every given workload. The per-workload
+// verifications run concurrently on up to Options.Workers goroutines.
+func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, workloads []sim.Workloads, opts ...Options) CheckFunc {
+	o := optOf(opts)
 	return func(caps map[string]int64) (bool, error) {
 		sized, err := applyCaps(g, caps)
 		if err != nil {
 			return false, err
 		}
-		for _, w := range workloads {
+		return allFeasible(o.Workers, len(workloads), func(i int) (bool, error) {
 			v, err := sim.VerifyThroughput(sized, c, sim.VerifyOptions{
 				Firings:   firings,
-				Workloads: w,
+				Workloads: workloads[i],
+				MaxEvents: o.MaxEvents,
 			})
 			if err != nil {
 				return false, err
 			}
-			if !v.OK {
-				return false, nil
-			}
-		}
-		return true, nil
+			return v.OK, nil
+		})
 	}
 }
 
 // Result reports the outcome of a search.
 type Result struct {
-	// Caps is the minimal feasible assignment found.
+	// Caps is the minimal feasible assignment found. It is identical for
+	// every worker count.
 	Caps map[string]int64
 	// Checks counts feasibility evaluations (each may run several
-	// simulations).
+	// simulations). With more than one worker, speculative probing may
+	// raise the count above the serial minimum; the assignment found is
+	// unaffected.
 	Checks int
 	// Passes counts coordinate-descent sweeps.
 	Passes int
@@ -104,10 +185,17 @@ func (r *Result) Total() int64 {
 // values. Because feasibility is monotone, the result of each inner search
 // is exact; passes repeat until no capacity changes, yielding an assignment
 // where no single buffer can shrink further.
-func Search(buffers []string, upper map[string]int64, check CheckFunc) (*Result, error) {
+//
+// With Options.Workers > 1 each binary-search round probes several
+// capacities speculatively and concurrently; monotonicity makes the
+// narrowing exact, so the assignment found is bit-identical to the serial
+// search. A check whose answers violate monotonicity is reported as an
+// error when the probes expose it.
+func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...Options) (*Result, error) {
 	if len(buffers) == 0 {
 		return nil, fmt.Errorf("minimize: no buffers to search")
 	}
+	workers := parallel.Workers(optOf(opts).Workers)
 	cur := make(map[string]int64, len(buffers))
 	for _, b := range buffers {
 		u, ok := upper[b]
@@ -116,10 +204,15 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc) (*Result,
 		}
 		cur[b] = u
 	}
+	var checks atomic.Int64
+	probe := func(caps map[string]int64) (bool, error) {
+		checks.Add(1)
+		return check(caps)
+	}
 	res := &Result{Caps: cur}
-	ok, err := check(copyCaps(cur))
-	res.Checks++
+	ok, err := probe(copyCaps(cur))
 	if err != nil {
+		res.Checks = int(checks.Load())
 		return nil, err
 	}
 	if !ok {
@@ -129,19 +222,33 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc) (*Result,
 		res.Passes++
 		before := copyCaps(cur)
 		for _, b := range buffers {
-			lo, hi := int64(1), cur[b] // hi is known feasible
+			// Invariant: hi is feasible, everything below lo is not.
+			lo, hi := int64(1), cur[b]
 			for lo < hi {
-				mid := lo + (hi-lo)/2
-				cur[b] = mid
-				ok, err := check(copyCaps(cur))
-				res.Checks++
+				pts := probePoints(lo, hi, int64(workers))
+				feas, err := parallel.Map(context.Background(), workers, len(pts), func(j int) (bool, error) {
+					caps := copyCaps(cur)
+					caps[b] = pts[j]
+					return probe(caps)
+				})
 				if err != nil {
+					res.Checks = int(checks.Load())
 					return nil, err
 				}
-				if ok {
-					hi = mid
-				} else {
-					lo = mid + 1
+				// Monotone narrowing: the largest infeasible probe
+				// raises lo, the smallest feasible probe lowers hi.
+				seenFeasible := false
+				for j, ok := range feas {
+					switch {
+					case ok && !seenFeasible:
+						seenFeasible = true
+						hi = pts[j]
+					case !ok && seenFeasible:
+						res.Checks = int(checks.Load())
+						return nil, fmt.Errorf("minimize: check is not monotone on buffer %q: capacity %d feasible but %d infeasible", b, hi, pts[j])
+					case !ok:
+						lo = pts[j] + 1
+					}
 				}
 			}
 			cur[b] = hi
@@ -157,8 +264,28 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc) (*Result,
 			break
 		}
 	}
+	res.Checks = int(checks.Load())
 	res.Caps = cur
 	return res, nil
+}
+
+// probePoints returns up to k distinct speculative probe capacities that
+// split [lo, hi-1] evenly (hi is already known feasible). With k == 1 this
+// is exactly the classic binary-search midpoint lo + (hi-lo)/2, so the
+// serial path probes the same sequence it always did.
+func probePoints(lo, hi, k int64) []int64 {
+	span := hi - lo
+	if k > span {
+		k = span
+	}
+	out := make([]int64, 0, k)
+	for j := int64(1); j <= k; j++ {
+		// lo + floor(span·j/(k+1)), in 128 bits: span can be any int64.
+		carry, prod := bits.Mul64(uint64(span), uint64(j))
+		q, _ := bits.Div64(carry, prod, uint64(k+1))
+		out = append(out, lo+int64(q))
+	}
+	return out
 }
 
 func copyCaps(m map[string]int64) map[string]int64 {

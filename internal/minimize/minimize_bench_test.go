@@ -1,0 +1,42 @@
+package minimize
+
+import (
+	"testing"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+var benchCap int64
+
+// benchmarkMinimize searches the Figure 1 pair under four workloads with
+// long runs; each feasibility probe costs four simulations, so both the
+// concurrent per-workload checks and the speculative probes pay off on
+// multi-core runners.
+func benchmarkMinimize(b *testing.B, workers int) {
+	g, err := taskgraph.Pair("wa", r(1, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	workloads := []sim.Workloads{
+		{buf: {Cons: quanta.Constant(2)}},
+		{buf: {Cons: quanta.Constant(3)}},
+		{buf: {Cons: quanta.Cycle(2, 3)}},
+		{buf: {Cons: quanta.Uniform(taskgraph.MustQuanta(2, 3), 5)}},
+	}
+	opt := Options{Workers: workers}
+	check := DeadlockFreeCheck(g, "wb", 400, workloads, opt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Search([]string{buf}, map[string]int64{buf: 64}, check, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCap = res.Caps[buf]
+	}
+}
+
+func BenchmarkMinimizeSerial(b *testing.B)   { benchmarkMinimize(b, 1) }
+func BenchmarkMinimizeParallel(b *testing.B) { benchmarkMinimize(b, 0) }

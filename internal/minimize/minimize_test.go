@@ -1,8 +1,11 @@
 package minimize
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
+	"vrdfcap/internal/graphgen"
 	"vrdfcap/internal/quanta"
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/sim"
@@ -134,6 +137,108 @@ func TestSearchInputValidation(t *testing.T) {
 	}
 	if _, err := Search([]string{"x"}, map[string]int64{"x": 0}, nil); err == nil {
 		t.Error("zero upper bound accepted")
+	}
+}
+
+// TestFeasibleOutcomeSet pins the accepted/rejected outcome mapping:
+// Completed and Deadlocked are evidence about capacities; every other
+// outcome — including ones this package has never heard of — is an error,
+// never a silent "infeasible".
+func TestFeasibleOutcomeSet(t *testing.T) {
+	cases := []struct {
+		outcome sim.Outcome
+		ok      bool
+		err     bool
+	}{
+		{sim.Completed, true, false},
+		{sim.Deadlocked, false, false},
+		{sim.Underrun, false, true},
+		{sim.LimitExceeded, false, true},
+		{sim.Outcome(99), false, true},
+	}
+	for _, c := range cases {
+		ok, err := feasibleOutcome(&sim.Result{Outcome: c.outcome})
+		if ok != c.ok || (err != nil) != c.err {
+			t.Errorf("feasibleOutcome(%v) = (%v, %v), want ok=%v err=%v", c.outcome, ok, err, c.ok, c.err)
+		}
+	}
+}
+
+// TestMaxEventsIsErrorNotInfeasible is the regression test for the outcome
+// conflation bug: a simulation cut short by the runaway guard used to be
+// reported as "infeasible", which silently inflated the minimal capacities
+// the search returned. It must surface as an error instead.
+func TestMaxEventsIsErrorNotInfeasible(t *testing.T) {
+	g := figure1Graph(t)
+	check := DeadlockFreeCheck(g, "wb", 200, []sim.Workloads{
+		{buf: {Cons: quanta.Constant(3)}},
+	}, Options{MaxEvents: 5})
+	ok, err := check(map[string]int64{buf: 20})
+	if err == nil {
+		t.Fatalf("truncated simulation reported (%v, nil); want an error", ok)
+	}
+	if !strings.Contains(err.Error(), "says nothing about capacity feasibility") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+	if _, serr := Search([]string{buf}, map[string]int64{buf: 20}, check); serr == nil {
+		t.Error("Search swallowed the truncated-simulation error")
+	}
+}
+
+// TestSearchSerialParallelEquivalence pins the tentpole contract for the
+// minimiser: the speculative parallel search finds bit-identical capacities
+// to the serial binary search — on the paper's Figure 1 pair and on seeded
+// random chains.
+func TestSearchSerialParallelEquivalence(t *testing.T) {
+	run := func(t *testing.T, g *taskgraph.Graph, task string, buffers []string, upper map[string]int64, workloads []sim.Workloads) {
+		t.Helper()
+		serial, err := Search(buffers, upper,
+			DeadlockFreeCheck(g, task, 60, workloads, Options{Workers: 1}), Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("serial: %v", err)
+		}
+		for _, workers := range []int{2, 5, 8} {
+			par, err := Search(buffers, upper,
+				DeadlockFreeCheck(g, task, 60, workloads, Options{Workers: workers}), Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !reflect.DeepEqual(serial.Caps, par.Caps) {
+				t.Fatalf("workers=%d: caps differ\nserial:   %v\nparallel: %v", workers, serial.Caps, par.Caps)
+			}
+			if par.Passes != serial.Passes {
+				t.Errorf("workers=%d: passes %d, serial %d", workers, par.Passes, serial.Passes)
+			}
+		}
+	}
+
+	t.Run("figure1", func(t *testing.T) {
+		g := figure1Graph(t)
+		run(t, g, "wb", []string{buf}, map[string]int64{buf: 20}, []sim.Workloads{
+			{buf: {Cons: quanta.Constant(2)}},
+			{buf: {Cons: quanta.Cycle(2, 3)}},
+		})
+	})
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := graphgen.Defaults(seed + 300)
+		g, c, err := graphgen.Random(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := g.Buffers()
+		buffers := make([]string, 0, len(bufs))
+		upper := make(map[string]int64, len(bufs))
+		for _, b := range bufs {
+			buffers = append(buffers, b.Name)
+			upper[b.Name] = 40
+		}
+		t.Run("chain", func(t *testing.T) {
+			run(t, g, c.Task, buffers, upper, []sim.Workloads{
+				sim.UniformWorkloads(g, seed),
+				sim.AdversarialWorkloads(g, sim.AdversaryMin),
+				sim.AdversarialWorkloads(g, sim.AdversaryAlternate),
+			})
+		})
 	}
 }
 

@@ -1,0 +1,94 @@
+// Package parallel is the small, dependency-free worker-pool layer shared
+// by the exploration paths of this library: the period sweeps of
+// internal/capacity, the capacity searches of internal/minimize and the
+// verification fan-outs of the commands.
+//
+// Map is the only scheduling primitive: it evaluates an indexed pure
+// function across a bounded pool of goroutines and returns the results in
+// index order. Its error semantics deliberately mirror the serial loop it
+// replaces — if any evaluation fails, the error returned is the one with
+// the smallest index, regardless of goroutine scheduling — so callers can
+// switch between Workers == 1 and Workers == GOMAXPROCS without observing
+// different results. Design-space exploration over the throughput/buffer
+// trade-off curve is embarrassingly parallel (every probe is an
+// independent pure computation); this package supplies the bound, the
+// cancellation and the determinism, and nothing else.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), the number of OS threads executing Go code.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map evaluates fn(i) for every i in [0, n) using at most workers
+// goroutines (<= 0 means GOMAXPROCS) and returns the n results in index
+// order.
+//
+// Error semantics mirror a serial loop that stops at the first failure: if
+// any evaluation fails, Map returns the error of the smallest failing
+// index, every index below that one is guaranteed to have been evaluated,
+// and indices above it may be skipped. A cancelled context is reported the
+// same way, as the failure of the smallest unevaluated index. fn must be
+// safe for concurrent calls when more than one worker runs.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var firstBad atomic.Int64 // lowest failing index; n = no failure
+	firstBad.Store(int64(n))
+	fail := func(i int64, err error) {
+		errs[i] = err
+		for {
+			cur := firstBad.Load()
+			if i >= cur || firstBad.CompareAndSwap(cur, i) {
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) || i >= firstBad.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(i, err)
+					return
+				}
+				v, err := fn(int(i))
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if bad := firstBad.Load(); bad < int64(n) {
+		return nil, errs[bad]
+	}
+	return results, nil
+}

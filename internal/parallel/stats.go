@@ -1,0 +1,53 @@
+package parallel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats is the lightweight run-stats record of one exploration run — the
+// library's first observability hook. Commands print it after their work so
+// operators can see how much probing a result cost and how well the pool
+// used the machine (CPU/Wall approaches the worker count when the probes
+// saturate their cores).
+type Stats struct {
+	// Probes counts the independent evaluations dispatched: periods
+	// analysed, feasibility checks, verification runs — the caller
+	// defines the unit.
+	Probes int64
+	// Events counts discrete-event simulator events processed by the
+	// probes; 0 for purely analytic runs.
+	Events int64
+	// Workers is the worker bound the run used.
+	Workers int
+	// Wall and CPU are the elapsed wall-clock and process CPU time. CPU
+	// is zero on platforms without rusage support.
+	Wall time.Duration
+	CPU  time.Duration
+}
+
+// String renders the stats in the one-line form the commands print.
+func (s Stats) String() string {
+	return fmt.Sprintf("probes=%d sim_events=%d workers=%d wall=%s cpu=%s",
+		s.Probes, s.Events, s.Workers,
+		s.Wall.Round(time.Microsecond), s.CPU.Round(time.Microsecond))
+}
+
+// Timer measures the wall and CPU time of a run for a Stats record.
+type Timer struct {
+	wall time.Time
+	cpu  time.Duration
+}
+
+// StartTimer begins measuring wall and process CPU time.
+func StartTimer() Timer {
+	return Timer{wall: time.Now(), cpu: processCPUTime()}
+}
+
+// Stop fills s.Wall and s.CPU with the time elapsed since StartTimer.
+func (t Timer) Stop(s *Stats) {
+	s.Wall = time.Since(t.wall)
+	if c := processCPUTime(); c > 0 {
+		s.CPU = c - t.cpu
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package parallel
+
+import "time"
+
+// processCPUTime is unavailable without rusage; Stats.CPU stays zero.
+func processCPUTime() time.Duration { return 0 }

@@ -1,6 +1,11 @@
 package ratio
 
-import "testing"
+import (
+	"errors"
+	"math"
+	"math/big"
+	"testing"
+)
 
 // FuzzParse checks that the rational parser never panics and that every
 // accepted value round-trips through String.
@@ -27,4 +32,111 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("non-canonical denominator %d from %q", r.Den(), s)
 		}
 	})
+}
+
+// representable reports whether the canonical form of a big.Rat fits the
+// library's invariant: int64 numerator, positive int64 denominator.
+func representable(r *big.Rat) bool {
+	return r.Num().IsInt64() && r.Denom().IsInt64()
+}
+
+// FuzzRatRoundTrip audits the constructors and Checked arithmetic against
+// math/big across the full int64 range, including the math.MinInt64 edge
+// where |n| has no int64 negation: New must produce the canonical form
+// exactly when it is representable (never a spurious overflow error, never
+// a wrapped-around value), and every Checked operation that succeeds must
+// agree with big.Rat bit for bit.
+func FuzzRatRoundTrip(f *testing.F) {
+	min, max := int64(math.MinInt64), int64(math.MaxInt64)
+	for _, seed := range [][4]int64{
+		{1, 2, 3, 4}, {-6, 4, 6, -4}, {0, 5, 5, 1},
+		{min, min, min, -1}, {min, -2, 2, min}, {6, min, min, 6},
+		{min, 2, min, 3}, {3, min, min, max}, {max, max, max, -1},
+		{min + 1, max, -1, min}, {7, 0, 0, 7},
+	} {
+		f.Add(seed[0], seed[1], seed[2], seed[3])
+	}
+	f.Fuzz(func(t *testing.T, num, den, num2, den2 int64) {
+		r, ok := checkNew(t, num, den)
+		if !ok {
+			return
+		}
+		s, ok := checkNew(t, num2, den2)
+		if !ok {
+			return
+		}
+		br, bs := toBig(r), toBig(s)
+		checkOp := func(op string, v Rat, err error, want *big.Rat) {
+			if err != nil {
+				var oe *OverflowError
+				if !errors.As(err, &oe) {
+					t.Fatalf("%s(%v, %v): non-overflow error %v", op, r, s, err)
+				}
+				return // conservative overflow is allowed; wrap-around is not
+			}
+			if toBig(v).Cmp(want) != 0 {
+				t.Fatalf("%s(%v, %v) = %v, want %v", op, r, s, v, want.RatString())
+			}
+		}
+		v, err := r.AddChecked(s)
+		checkOp("add", v, err, new(big.Rat).Add(br, bs))
+		v, err = r.SubChecked(s)
+		checkOp("sub", v, err, new(big.Rat).Sub(br, bs))
+		v, err = r.MulChecked(s)
+		checkOp("mul", v, err, new(big.Rat).Mul(br, bs))
+		if !s.IsZero() {
+			v, err = r.DivChecked(s)
+			checkOp("div", v, err, new(big.Rat).Quo(br, bs))
+		}
+		if r.Cmp(s) != br.Cmp(bs) {
+			t.Fatalf("Cmp(%v, %v) = %d, big says %d", r, s, r.Cmp(s), br.Cmp(bs))
+		}
+	})
+}
+
+// checkNew validates New(num, den) against the big.Rat reference and
+// returns the Rat when construction succeeded.
+func checkNew(t *testing.T, num, den int64) (Rat, bool) {
+	r, err := New(num, den)
+	if den == 0 {
+		if err == nil {
+			t.Fatalf("New(%d, 0) accepted a zero denominator", num)
+		}
+		return Rat{}, false
+	}
+	want := new(big.Rat).SetFrac(big.NewInt(num), big.NewInt(den))
+	if err != nil {
+		var oe *OverflowError
+		if !errors.As(err, &oe) {
+			t.Fatalf("New(%d, %d): non-overflow error %v", num, den, err)
+		}
+		if representable(want) {
+			t.Fatalf("New(%d, %d) reported overflow but the canonical form %s is representable", num, den, want.RatString())
+		}
+		return Rat{}, false
+	}
+	if !representable(want) {
+		t.Fatalf("New(%d, %d) = %v but the canonical form is not representable", num, den, r)
+	}
+	if r.Den() <= 0 {
+		t.Fatalf("New(%d, %d): non-positive denominator %d", num, den, r.Den())
+	}
+	if gcdU64(absU64(r.Num()), uint64(r.Den())) != 1 {
+		t.Fatalf("New(%d, %d) = %d/%d is not reduced", num, den, r.Num(), r.Den())
+	}
+	if toBig(r).Cmp(want) != 0 {
+		t.Fatalf("New(%d, %d) = %v, want %s", num, den, r, want.RatString())
+	}
+	back, perr := Parse(r.String())
+	if perr != nil || !back.Equal(r) {
+		t.Fatalf("String round trip of %v: %v, %v", r, back, perr)
+	}
+	if n, nerr := r.NegChecked(); nerr == nil {
+		if nn, err2 := n.NegChecked(); err2 != nil || !nn.Equal(r) {
+			t.Fatalf("double negation of %v: %v, %v", r, nn, err2)
+		}
+	} else if r.Num() != math.MinInt64 {
+		t.Fatalf("NegChecked(%v) overflowed but num is not MinInt64", r)
+	}
+	return r, true
 }

@@ -53,29 +53,32 @@ func (e *OverflowError) Error() string {
 }
 
 // New returns the canonical rational num/den. It returns an error if den is
-// zero or the canonical form is not representable.
+// zero or the canonical form is not representable — which can only happen
+// around math.MinInt64, whose magnitude 2⁶³ has no int64 negation (e.g.
+// 3/MinInt64 would need the denominator 2⁶³).
 func New(num, den int64) (Rat, error) {
 	if den == 0 {
 		return Rat{}, fmt.Errorf("ratio: zero denominator")
 	}
-	// math.MinInt64 cannot be negated; reduce first where possible.
+	if num == 0 {
+		return Rat{0, 1}, nil
+	}
+	// Reduce with an unsigned gcd: |MinInt64| overflows int64, so the
+	// magnitudes must be taken in uint64 before any division.
+	g := gcdU64(absU64(num), absU64(den))
+	if g == 1<<63 {
+		// Both magnitudes are 2⁶³: num == den == MinInt64, the value 1.
+		return One, nil
+	}
+	num /= int64(g)
+	den /= int64(g)
 	if den < 0 {
+		// A reduced MinInt64 component cannot be negated; the canonical
+		// form (positive denominator) is out of int64 range.
 		if num == math.MinInt64 || den == math.MinInt64 {
-			g := gcd64(abs64(num), abs64(den))
-			if g > 1 {
-				num /= g
-				den /= g
-			}
-			if num == math.MinInt64 || den == math.MinInt64 {
-				return Rat{}, &OverflowError{Op: "new"}
-			}
+			return Rat{}, &OverflowError{Op: "new"}
 		}
 		num, den = -num, -den
-	}
-	g := gcd64(abs64(num), den)
-	if g > 1 {
-		num /= g
-		den /= g
 	}
 	return Rat{num, den}, nil
 }
@@ -457,6 +460,14 @@ func LCM(a, b int64) int64 {
 }
 
 func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// gcdU64 is the unsigned Euclid used by New, where magnitudes may be 2⁶³.
+func gcdU64(a, b uint64) uint64 {
 	for b != 0 {
 		a, b = b, a%b
 	}

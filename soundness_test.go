@@ -16,7 +16,8 @@ import (
 // (4) must let the simulator sustain the strictly periodic sink under
 // adversarial and random workloads. This exercises the paper's central
 // theorem end to end — analysis, construction, simulation — on graphs far
-// beyond the MP3 case study.
+// beyond the MP3 case study. Each seed is an independent chain, so the
+// subtests fan out across test workers.
 func TestSoundnessFuzzSinkConstrained(t *testing.T) {
 	seeds := int64(40)
 	if testing.Short() {
@@ -25,6 +26,7 @@ func TestSoundnessFuzzSinkConstrained(t *testing.T) {
 	for seed := int64(0); seed < seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
 			cfg := graphgen.Defaults(seed)
 			cfg.ZeroConsumption = seed%4 == 0
 			g, c, err := graphgen.Random(cfg)
@@ -45,6 +47,7 @@ func TestSoundnessFuzzSourceConstrained(t *testing.T) {
 	for seed := int64(100); seed < 100+seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
 			cfg := graphgen.Defaults(seed)
 			cfg.SourceConstrained = true
 			g, c, err := graphgen.Random(cfg)
@@ -165,38 +168,42 @@ func TestHybridPolicySoundness(t *testing.T) {
 		seeds = 4
 	}
 	for seed := int64(200); seed < 200+seeds; seed++ {
-		g, c, err := graphgen.Random(graphgen.Defaults(seed))
-		if err != nil {
-			t.Fatal(err)
-		}
-		eq4, err := capacity.Compute(g, c, capacity.PolicyEquation4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		hyb, err := capacity.Compute(g, c, capacity.PolicyHybrid)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if hyb.TotalCapacity() > eq4.TotalCapacity() {
-			t.Fatalf("seed %d: hybrid (%d) looser than Equation 4 (%d)", seed, hyb.TotalCapacity(), eq4.TotalCapacity())
-		}
-		sized, err := capacity.Sized(g, hyb)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, adv := range sim.Adversaries {
-			v, err := Verify(sized, c, VerifyOptions{
-				Firings:   150,
-				Workloads: sim.AdversarialWorkloads(sized, adv),
-			})
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g, c, err := graphgen.Random(graphgen.Defaults(seed))
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !v.OK {
-				t.Errorf("seed %d adversary %v: hybrid sizing failed: %s\n%s",
-					seed, adv, v.Reason, describe(sized, c))
+			eq4, err := capacity.Compute(g, c, capacity.PolicyEquation4)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			hyb, err := capacity.Compute(g, c, capacity.PolicyHybrid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hyb.TotalCapacity() > eq4.TotalCapacity() {
+				t.Fatalf("hybrid (%d) looser than Equation 4 (%d)", hyb.TotalCapacity(), eq4.TotalCapacity())
+			}
+			sized, err := capacity.Sized(g, hyb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, adv := range sim.Adversaries {
+				v, err := Verify(sized, c, VerifyOptions{
+					Firings:   150,
+					Workloads: sim.AdversarialWorkloads(sized, adv),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !v.OK {
+					t.Errorf("adversary %v: hybrid sizing failed: %s\n%s",
+						adv, v.Reason, describe(sized, c))
+				}
+			}
+		})
 	}
 }
 
