@@ -52,7 +52,10 @@ func mp3Graph(b *testing.B) *Graph {
 func BenchmarkFigure1MotivatingExample(b *testing.B) {
 	g := figure1Graph(b)
 	var n3, n2, alt int64
+	var probes, cached int
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		probes, cached = 0, 0
 		for _, c := range []struct {
 			seq  quanta.Sequence
 			dest *int64
@@ -69,6 +72,8 @@ func BenchmarkFigure1MotivatingExample(b *testing.B) {
 				b.Fatal(err)
 			}
 			*c.dest = res.Caps["wa->wb"]
+			probes += res.Checks
+			cached += res.CacheHits
 		}
 	}
 	if n3 != 3 || n2 != 4 || alt != 5 {
@@ -77,6 +82,8 @@ func BenchmarkFigure1MotivatingExample(b *testing.B) {
 	b.ReportMetric(float64(n3), "cap_n3")
 	b.ReportMetric(float64(n2), "cap_n2")
 	b.ReportMetric(float64(alt), "cap_alt")
+	b.ReportMetric(float64(probes), "probes_sim")
+	b.ReportMetric(float64(cached), "probes_cached")
 }
 
 // BenchmarkFigure2ModelConstruction regenerates Figure 2: constructing the
@@ -214,7 +221,8 @@ func BenchmarkSection5MP3SimVerify(b *testing.B) {
 		b.Fatal(err)
 	}
 	w := Workloads{mp3.BufferNames()[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), 2008)}}
-	var events int64
+	var events, total int64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		v, err := Verify(sized, c, VerifyOptions{Firings: 2205, Workloads: w})
 		if err != nil {
@@ -224,8 +232,51 @@ func BenchmarkSection5MP3SimVerify(b *testing.B) {
 			b.Fatalf("verification failed: %s", v.Reason)
 		}
 		events = v.Periodic.Events
+		total += v.SelfTimed.Events + v.Periodic.Events
 	}
 	b.ReportMetric(float64(events), "events")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(total)/s, "events/sec")
+	}
+}
+
+// BenchmarkSection5MP3Minimize measures the empirical capacity search on the
+// §5 MP3 chain — the heaviest minimisation in the repo: each probe simulates
+// 2205 DAC firings (50 ms of audio) through both verification phases. The
+// probes_sim/probes_cached metrics record how much of the coordinate descent
+// the monotone feasibility cache answers without simulating.
+func BenchmarkSection5MP3Minimize(b *testing.B) {
+	g := mp3Graph(b)
+	c := mp3.Constraint()
+	res, err := Analyze(g, c, PolicyEquation4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := mp3.BufferNames()
+	upper := make(map[string]int64, len(names))
+	for _, n := range names {
+		upper[n] = res.BufferByName(n).Capacity
+	}
+	w := []sim.Workloads{{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), 2008)}}}
+	var total int64
+	var probes, cached int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		check := minimize.ThroughputCheck(g, c, 2205, w)
+		mres, err := minimize.Search(names[:], upper, check)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = mres.Total()
+		probes = mres.Checks
+		cached = mres.CacheHits
+	}
+	if total >= res.TotalCapacity() {
+		b.Fatalf("empirical minimum %d not below the analytic sizing %d", total, res.TotalCapacity())
+	}
+	b.ReportMetric(float64(total), "min_total_capacity")
+	b.ReportMetric(float64(probes), "probes_sim")
+	b.ReportMetric(float64(cached), "probes_cached")
 }
 
 // BenchmarkSourceConstrainedChain exercises §4.4 on the mirrored MP3 chain:
@@ -373,7 +424,8 @@ func BenchmarkEngineVsNaiveStepping(b *testing.B) {
 	const firings = 500
 
 	b.Run("event-calendar", func(b *testing.B) {
-		var fired int64
+		var fired, events int64
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cfg, _, err := sim.TaskGraphConfig(g, sim.Workloads{"wa->wb": {Cons: quanta.Cycle(2, 3)}})
 			if err != nil {
@@ -388,9 +440,13 @@ func BenchmarkEngineVsNaiveStepping(b *testing.B) {
 				b.Fatalf("outcome %v", res.Outcome)
 			}
 			fired = res.Finished["wb"]
+			events += res.Events
 		}
 		if fired != firings {
 			b.Fatalf("fired %d", fired)
+		}
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(events)/s, "events/sec")
 		}
 	})
 

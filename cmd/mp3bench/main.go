@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vrdfcap"
 	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/minimize"
 	"vrdfcap/internal/mp3"
 	"vrdfcap/internal/parallel"
 	"vrdfcap/internal/quanta"
@@ -37,10 +40,19 @@ func run(args []string, out io.Writer) error {
 	firings := fs.Int64("firings", 44100, "DAC firings to verify (default: one second of audio)")
 	seed := fs.Int64("seed", 2008, "seed for the VBR workload")
 	skipVerify := fs.Bool("skip-verify", false, "skip the simulation-based verification")
+	minimizeFlag := fs.Bool("minimize", false, "additionally search the empirically minimal capacities for the VBR workload")
+	minimizeFirings := fs.Int64("minimize-firings", 2205, "DAC firings per minimization probe (default: 50 ms of audio)")
 	parallelN := fs.Int("parallel", 0, "worker goroutines for the verification workloads (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiling()
 
 	g, err := mp3.Graph()
 	if err != nil {
@@ -94,7 +106,7 @@ func run(args []string, out io.Writer) error {
 			cs.SinkOffset, cs.SinkOffset.Float64()*1000, cs.LatencyBound.Float64()*1000)
 	}
 
-	if *skipVerify {
+	if *skipVerify && !*minimizeFlag {
 		return nil
 	}
 
@@ -104,6 +116,40 @@ func run(args []string, out io.Writer) error {
 	}
 	stats := parallel.Stats{Workers: parallel.Workers(*parallelN)}
 	timer := parallel.StartTimer()
+	// runMinimize searches the smallest capacities that still sustain the
+	// 44.1 kHz schedule for the uniform VBR stream — the empirical lower
+	// bound the paper's analytic sizing is compared against.
+	runMinimize := func() error {
+		upper := make(map[string]int64, len(names))
+		for _, n := range names {
+			upper[n] = res.BufferByName(n).Capacity
+		}
+		mopts := minimize.Options{Workers: *parallelN}
+		check := minimize.ThroughputCheck(g, c, *minimizeFirings,
+			[]sim.Workloads{{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), *seed)}}}, mopts)
+		mres, err := minimize.Search(names[:], upper, check, mopts)
+		if err != nil {
+			return err
+		}
+		stats.Probes += int64(mres.Checks)
+		stats.CacheHits += int64(mres.CacheHits)
+		fmt.Fprintf(out, "\nempirically minimal capacities for the uniform VBR stream (%d DAC firings per probe; %d probes simulated, %d answered by the feasibility cache):\n",
+			*minimizeFirings, mres.Checks, mres.CacheHits)
+		for i, n := range names {
+			fmt.Fprintf(out, "  d%d %-10s eq(4) %6d  minimal %6d\n", i+1, n, upper[n], mres.Caps[n])
+		}
+		fmt.Fprintf(out, "  totals: eq(4)=%d, minimal=%d (lower bound for this stream; eq(4) covers every admissible stream)\n",
+			res.TotalCapacity(), mres.Total())
+		return nil
+	}
+	if *skipVerify {
+		if err := runMinimize(); err != nil {
+			return err
+		}
+		timer.Stop(&stats)
+		fmt.Fprintf(out, "\nrun stats: %s\n", stats)
+		return nil
+	}
 	fmt.Fprintf(out, "\nverifying by simulation (%d DAC firings per workload, %d workers)...\n",
 		*firings, stats.Workers)
 	streams := []struct {
@@ -176,9 +222,50 @@ func run(args []string, out io.Writer) error {
 	if v.Periodic != nil {
 		stats.Events += v.Periodic.Events
 	}
+	if *minimizeFlag {
+		if err := runMinimize(); err != nil {
+			return err
+		}
+	}
 	timer.Stop(&stats)
 	fmt.Fprintf(out, "\nrun stats: %s\n", stats)
 	return nil
+}
+
+// startProfiling starts a CPU profile and/or arranges a heap profile,
+// returning a stop function to defer. The heap profile is written at stop
+// after a GC so it reflects live steady-state allocations.
+func startProfiling(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 func paperRho(task string) string {

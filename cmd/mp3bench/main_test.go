@@ -37,6 +37,36 @@ func TestFullVerificationShortHorizon(t *testing.T) {
 	}
 }
 
+func TestMinimizeSkipVerify(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-skip-verify", "-minimize", "-minimize-firings", "441", "-parallel", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	wants := []string{
+		"empirically minimal capacities for the uniform VBR stream",
+		"answered by the feasibility cache",
+		// The empirical lower bound for this stream at 441 firings per
+		// probe; deterministic (seed 2008) and worker-independent.
+		"minimal=3641",
+		"run stats:",
+		"cache_hits=",
+	}
+	for _, w := range wants {
+		if !strings.Contains(text, w) {
+			t.Errorf("output missing %q:\n%s", w, text)
+		}
+	}
+	// The found capacities must not depend on the worker count.
+	var serial bytes.Buffer
+	if err := run([]string{"-skip-verify", "-minimize", "-minimize-firings", "441", "-parallel", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(serial.String(), "minimal=3641") {
+		t.Errorf("serial minimization found different capacities:\n%s", serial.String())
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {

@@ -23,8 +23,11 @@
 //	-latency       print the analytic sink offset and latency bound
 //	-sweep list    comma-separated periods for a trade-off table
 //	-exact         exhaustive deadlock-freedom certificate (small graphs)
+//	-minimize      search the empirically minimal capacities by simulation
 //	-parallel n    worker goroutines for the sweep (0 = GOMAXPROCS)
 //	-stats         print run statistics (probes, events, wall/CPU time)
+//	-cpuprofile f  write a CPU profile to f
+//	-memprofile f  write a heap profile to f on exit
 package main
 
 import (
@@ -32,11 +35,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"vrdfcap"
 	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/minimize"
 	"vrdfcap/internal/parallel"
+	"vrdfcap/internal/sim"
 )
 
 func main() {
@@ -58,14 +65,22 @@ func run(args []string, out io.Writer) error {
 	latency := fs.Bool("latency", false, "print the anchored schedule: analytic sink offset and end-to-end latency bound")
 	sweep := fs.String("sweep", "", "comma-separated periods to sweep for a throughput/buffer trade-off table")
 	exactFlag := fs.Bool("exact", false, "certify the sizing deadlock-free by exhaustive adversarial search (small graphs)")
+	minimizeFlag := fs.Bool("minimize", false, "search the empirically minimal capacities that still satisfy the constraint (simulation-based)")
 	parallelN := fs.Int("parallel", 0, "worker goroutines for the period sweep (0 = GOMAXPROCS, 1 = serial)")
 	statsFlag := fs.Bool("stats", false, "print run statistics (analyses, simulation events, wall/CPU time)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one graph file, got %d arguments", fs.NArg())
 	}
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiling()
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -161,6 +176,34 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+	if *minimizeFlag {
+		if !res.Valid {
+			fmt.Fprintln(out, "\nskipping minimization: the analysis already proved the constraint infeasible")
+		} else {
+			var buffers []string
+			upper := make(map[string]int64)
+			for _, b := range sized.Buffers() {
+				buffers = append(buffers, b.DefaultName())
+				upper[b.DefaultName()] = b.Capacity
+			}
+			mopts := minimize.Options{Workers: *parallelN}
+			check := minimize.ThroughputCheck(g, *c, *firings,
+				[]sim.Workloads{vrdfcap.UniformWorkloads(sized, *seed)}, mopts)
+			mres, err := minimize.Search(buffers, upper, check, mopts)
+			if err != nil {
+				return err
+			}
+			stats.Probes += int64(mres.Checks)
+			stats.CacheHits += int64(mres.CacheHits)
+			fmt.Fprintf(out, "\nempirically minimal capacities for this workload (%d probes simulated, %d answered by the feasibility cache):\n",
+				mres.Checks, mres.CacheHits)
+			for _, b := range buffers {
+				fmt.Fprintf(out, "  %-12s analytic %6d  minimal %6d\n", b, upper[b], mres.Caps[b])
+			}
+			fmt.Fprintf(out, "  totals: analytic=%d, minimal=%d (a lower bound for this workload; the analytic sizing covers every admissible workload)\n",
+				res.TotalCapacity(), mres.Total())
+		}
+	}
 	if *asJSON {
 		data, err := vrdfcap.EncodeJSON(sized, c)
 		if err != nil {
@@ -173,6 +216,42 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "\nrun stats: %s\n", &stats)
 	}
 	return nil
+}
+
+// startProfiling starts a CPU profile and/or arranges a heap profile,
+// returning a stop function to defer. The heap profile is written at stop
+// after a GC so it reflects live steady-state allocations.
+func startProfiling(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // parsePeriods parses a comma-separated list of exact rationals.

@@ -187,6 +187,51 @@ func TestRunExactCertificate(t *testing.T) {
 	}
 }
 
+func TestRunMinimize(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-minimize", "-firings", "441", "-parallel", "2", "-stats", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	wants := []string{
+		"empirically minimal capacities for this workload",
+		"answered by the feasibility cache",
+		"totals: analytic=10161",
+		"cache_hits=",
+	}
+	for _, w := range wants {
+		if !strings.Contains(text, w) {
+			t.Errorf("output missing %q:\n%s", w, text)
+		}
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var out bytes.Buffer
+	// CPU profiling is process-global, so no other test may profile
+	// concurrently; package tests run sequentially here.
+	if err := run([]string{"-cpuprofile", cpu, "-memprofile", mem, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := run([]string{"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "x"), path}, &out); err == nil {
+		t.Error("unwritable profile path accepted")
+	}
+}
+
 func TestRunParallelSweepAndStats(t *testing.T) {
 	path := writeMP3JSON(t, true)
 	sweep := "1/44100,1/40000,1/30000"

@@ -1,0 +1,137 @@
+package minimize
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// feasibilityCache remembers probed capacity vectors as two frontiers and
+// answers dominated probes without simulating. It is the search-side use of
+// the paper's monotonicity result (Definition 1, §3.2): increasing buffer
+// capacities never delays any start time, so feasibility is monotone in the
+// capacity vector — anything pointwise at or above a known-feasible vector
+// is feasible, anything pointwise at or below a known-infeasible vector is
+// infeasible.
+//
+// The frontiers are kept minimal: inserting a feasible vector drops the
+// feasible entries it dominates, and symmetrically for infeasible ones, so
+// lookups scan only non-redundant antichains. A contradiction between the
+// frontiers (a feasible vector at or below an infeasible one) can only come
+// from a non-monotone check and is reported as an error, preserving the
+// search's non-monotone-check semantics.
+//
+// Safe for concurrent use; the search's speculative parallel probes share
+// one cache.
+type feasibilityCache struct {
+	keys       []string // buffer order of the vectors
+	mu         sync.Mutex
+	feasible   [][]int64 // minimal known-feasible vectors
+	infeasible [][]int64 // maximal known-infeasible vectors
+}
+
+func newFeasibilityCache(buffers []string) *feasibilityCache {
+	return &feasibilityCache{keys: append([]string(nil), buffers...)}
+}
+
+// vec projects a capacity assignment onto the cache's buffer order.
+func (c *feasibilityCache) vec(caps map[string]int64) []int64 {
+	v := make([]int64, len(c.keys))
+	for i, k := range c.keys {
+		v[i] = caps[k]
+	}
+	return v
+}
+
+// leq reports a ≤ b pointwise.
+func leq(a, b []int64) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *feasibilityCache) fmtVec(v []int64) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range c.keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s:%d", k, v[i])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// lookup answers a probe by dominance: (feasible, true) when the assignment
+// is at or above a known-feasible vector, (false, true) when it is at or
+// below a known-infeasible one, and (_, false) when the cache cannot decide
+// and the probe must simulate.
+func (c *feasibilityCache) lookup(caps map[string]int64) (feasible, hit bool) {
+	v := c.vec(caps)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.feasible {
+		if leq(f, v) {
+			return true, true
+		}
+	}
+	for _, inf := range c.infeasible {
+		if leq(v, inf) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// insert records a simulated probe's verdict, keeping the frontiers minimal.
+// A verdict that contradicts the opposite frontier exposes a non-monotone
+// check and is returned as an error.
+func (c *feasibilityCache) insert(caps map[string]int64, feasible bool) error {
+	v := c.vec(caps)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if feasible {
+		for _, inf := range c.infeasible {
+			if leq(v, inf) {
+				return fmt.Errorf("minimize: check is not monotone: %s is feasible but the pointwise-larger %s was infeasible",
+					c.fmtVec(v), c.fmtVec(inf))
+			}
+		}
+		for _, f := range c.feasible {
+			if leq(f, v) {
+				return nil // dominated by an existing entry
+			}
+		}
+		kept := c.feasible[:0]
+		for _, f := range c.feasible {
+			if !leq(v, f) {
+				kept = append(kept, f)
+			}
+		}
+		c.feasible = append(kept, v)
+		return nil
+	}
+	for _, f := range c.feasible {
+		if leq(f, v) {
+			return fmt.Errorf("minimize: check is not monotone: %s is infeasible but the pointwise-smaller %s was feasible",
+				c.fmtVec(v), c.fmtVec(f))
+		}
+	}
+	for _, inf := range c.infeasible {
+		if leq(v, inf) {
+			return nil
+		}
+	}
+	kept := c.infeasible[:0]
+	for _, inf := range c.infeasible {
+		if !leq(inf, v) {
+			kept = append(kept, inf)
+		}
+	}
+	c.infeasible = append(kept, v)
+	return nil
+}

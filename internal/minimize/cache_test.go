@@ -1,0 +1,90 @@
+package minimize
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFeasibilityCacheDominance(t *testing.T) {
+	c := newFeasibilityCache([]string{"a", "b"})
+	if _, hit := c.lookup(map[string]int64{"a": 3, "b": 3}); hit {
+		t.Fatal("empty cache answered a probe")
+	}
+	if err := c.insert(map[string]int64{"a": 3, "b": 4}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.insert(map[string]int64{"a": 2, "b": 4}, false); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b     int64
+		feasible bool
+		hit      bool
+	}{
+		{3, 4, true, true},   // exactly the feasible entry
+		{5, 9, true, true},   // dominates it
+		{2, 4, false, true},  // exactly the infeasible entry
+		{1, 2, false, true},  // dominated by it
+		{2, 9, false, false}, // between the frontiers: must simulate
+		{3, 3, false, false},
+	}
+	for _, tc := range cases {
+		feasible, hit := c.lookup(map[string]int64{"a": tc.a, "b": tc.b})
+		if hit != tc.hit || (hit && feasible != tc.feasible) {
+			t.Errorf("lookup(a:%d, b:%d) = (%v, %v), want (%v, %v)",
+				tc.a, tc.b, feasible, hit, tc.feasible, tc.hit)
+		}
+	}
+}
+
+func TestFeasibilityCacheFrontiersStayMinimal(t *testing.T) {
+	c := newFeasibilityCache([]string{"a", "b"})
+	// A tighter feasible vector must replace the looser one it dominates.
+	for _, v := range []map[string]int64{
+		{"a": 5, "b": 5}, {"a": 3, "b": 5}, {"a": 3, "b": 4},
+	} {
+		if err := c.insert(v, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.feasible) != 1 {
+		t.Errorf("feasible frontier has %d entries, want 1: %v", len(c.feasible), c.feasible)
+	}
+	// Incomparable vectors coexist on the frontier.
+	if err := c.insert(map[string]int64{"a": 2, "b": 9}, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.feasible) != 2 {
+		t.Errorf("incomparable vector pruned: %v", c.feasible)
+	}
+	// Symmetrically for the infeasible frontier: larger dominates.
+	for _, v := range []map[string]int64{
+		{"a": 1, "b": 1}, {"a": 1, "b": 3}, {"a": 2, "b": 3},
+	} {
+		if err := c.insert(v, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.infeasible) != 1 {
+		t.Errorf("infeasible frontier has %d entries, want 1: %v", len(c.infeasible), c.infeasible)
+	}
+}
+
+func TestFeasibilityCacheDetectsNonMonotoneCheck(t *testing.T) {
+	c := newFeasibilityCache([]string{"a"})
+	if err := c.insert(map[string]int64{"a": 4}, false); err != nil {
+		t.Fatal(err)
+	}
+	err := c.insert(map[string]int64{"a": 3}, true)
+	if err == nil || !strings.Contains(err.Error(), "not monotone") {
+		t.Errorf("feasible-below-infeasible accepted: %v", err)
+	}
+	c2 := newFeasibilityCache([]string{"a"})
+	if err := c2.insert(map[string]int64{"a": 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	err = c2.insert(map[string]int64{"a": 4}, false)
+	if err == nil || !strings.Contains(err.Error(), "not monotone") {
+		t.Errorf("infeasible-above-feasible accepted: %v", err)
+	}
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// default). Hitting the cap is reported as an error, never as
 	// infeasibility.
 	MaxEvents int64
+	// NoCache disables the monotone feasibility cache in Search, forcing
+	// every probe through the CheckFunc. The assignment found is
+	// identical either way (the cache only answers probes whose verdict
+	// monotonicity already determines); this exists for measurement and
+	// for checks that are deliberately non-monotone.
+	NoCache bool
 }
 
 func optOf(opts []Options) Options {
@@ -108,24 +114,42 @@ func allFeasible(workers, n int, eval func(i int) (bool, error)) (bool, error) {
 // self-timed execution of the sized graph completes `firings` firings of
 // `task` under every given workload without deadlocking. The per-workload
 // simulations run concurrently on up to Options.Workers goroutines.
+//
+// Each worker reuses a compiled machine per workload across probes: a probe
+// only resets token counts (the capacity assignment becomes the space
+// edges' initial tokens) instead of cloning the graph and rebuilding the
+// engine.
 func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads []sim.Workloads, opts ...Options) CheckFunc {
 	o := optOf(opts)
+	tpl := &probeTemplate{base: g}
+	pools := make([]pool[*sim.Machine], len(workloads))
 	return func(caps map[string]int64) (bool, error) {
-		sized, err := applyCaps(g, caps)
+		ov, err := tpl.overrides(caps)
 		if err != nil {
 			return false, err
 		}
 		return allFeasible(o.Workers, len(workloads), func(i int) (bool, error) {
-			cfg, _, err := sim.TaskGraphConfig(sized, workloads[i])
+			m, ok := pools[i].get()
+			if !ok {
+				cfg, _, err := sim.TaskGraphConfig(tpl.sized, workloads[i])
+				if err != nil {
+					return false, err
+				}
+				cfg.Stop = sim.Stop{Actor: task, Firings: firings}
+				cfg.MaxEvents = o.MaxEvents
+				cfg.LiteResult = true
+				if m, err = sim.Compile(cfg); err != nil {
+					return false, err
+				}
+			}
+			if err := m.Reset(ov); err != nil {
+				return false, err
+			}
+			res, err := m.Run()
 			if err != nil {
 				return false, err
 			}
-			cfg.Stop = sim.Stop{Actor: task, Firings: firings}
-			cfg.MaxEvents = o.MaxEvents
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return false, err
-			}
+			pools[i].put(m)
 			return feasibleOutcome(res)
 		})
 	}
@@ -134,22 +158,37 @@ func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads
 // ThroughputCheck returns a CheckFunc that accepts an assignment when
 // sim.VerifyThroughput succeeds for every given workload. The per-workload
 // verifications run concurrently on up to Options.Workers goroutines.
+//
+// Each worker reuses a compiled sim.Verifier per workload across probes,
+// so a probe re-runs the two verification phases without re-validating or
+// rebuilding the graph.
 func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, workloads []sim.Workloads, opts ...Options) CheckFunc {
 	o := optOf(opts)
+	tpl := &probeTemplate{base: g}
+	pools := make([]pool[*sim.Verifier], len(workloads))
 	return func(caps map[string]int64) (bool, error) {
-		sized, err := applyCaps(g, caps)
-		if err != nil {
+		if _, err := tpl.overrides(caps); err != nil {
 			return false, err
 		}
 		return allFeasible(o.Workers, len(workloads), func(i int) (bool, error) {
-			v, err := sim.VerifyThroughput(sized, c, sim.VerifyOptions{
-				Firings:   firings,
-				Workloads: workloads[i],
-				MaxEvents: o.MaxEvents,
-			})
+			vf, ok := pools[i].get()
+			if !ok {
+				var err error
+				vf, err = sim.CompileVerifier(tpl.sized, c, sim.VerifyOptions{
+					Firings:    firings,
+					Workloads:  workloads[i],
+					MaxEvents:  o.MaxEvents,
+					LiteResult: true,
+				})
+				if err != nil {
+					return false, err
+				}
+			}
+			v, err := vf.Verify(caps)
 			if err != nil {
 				return false, err
 			}
+			pools[i].put(vf)
 			return v.OK, nil
 		})
 	}
@@ -158,13 +197,17 @@ func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, 
 // Result reports the outcome of a search.
 type Result struct {
 	// Caps is the minimal feasible assignment found. It is identical for
-	// every worker count.
+	// every worker count and unaffected by the feasibility cache.
 	Caps map[string]int64
-	// Checks counts feasibility evaluations (each may run several
-	// simulations). With more than one worker, speculative probing may
-	// raise the count above the serial minimum; the assignment found is
-	// unaffected.
+	// Checks counts simulated feasibility evaluations — CheckFunc
+	// invocations, each of which may run several simulations. With more
+	// than one worker, speculative probing may raise the count above the
+	// serial minimum; the assignment found is unaffected.
 	Checks int
+	// CacheHits counts probes answered by the monotone feasibility cache
+	// without invoking the CheckFunc (zero under Options.NoCache).
+	// Checks + CacheHits is the total probe count.
+	CacheHits int
 	// Passes counts coordinate-descent sweeps.
 	Passes int
 }
@@ -204,15 +247,40 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 		}
 		cur[b] = u
 	}
-	var checks atomic.Int64
+	var checks, cacheHits atomic.Int64
+	var cache *feasibilityCache
+	if !optOf(opts).NoCache {
+		cache = newFeasibilityCache(buffers)
+	}
+	// probe answers dominated assignments from the cache (monotonicity
+	// decides them without simulating) and records every simulated
+	// verdict; cross-pass confirmation probes of the Gauss–Seidel loop —
+	// including any re-probe of the already verified upper bound — become
+	// cache hits.
 	probe := func(caps map[string]int64) (bool, error) {
+		if cache != nil {
+			if feasible, hit := cache.lookup(caps); hit {
+				cacheHits.Add(1)
+				return feasible, nil
+			}
+		}
 		checks.Add(1)
-		return check(caps)
+		ok, err := check(caps)
+		if err != nil {
+			return false, err
+		}
+		if cache != nil {
+			if err := cache.insert(caps, ok); err != nil {
+				return false, err
+			}
+		}
+		return ok, nil
 	}
 	res := &Result{Caps: cur}
 	ok, err := probe(copyCaps(cur))
 	if err != nil {
 		res.Checks = int(checks.Load())
+		res.CacheHits = int(cacheHits.Load())
 		return nil, err
 	}
 	if !ok {
@@ -233,6 +301,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 				})
 				if err != nil {
 					res.Checks = int(checks.Load())
+					res.CacheHits = int(cacheHits.Load())
 					return nil, err
 				}
 				// Monotone narrowing: the largest infeasible probe
@@ -245,6 +314,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 						hi = pts[j]
 					case !ok && seenFeasible:
 						res.Checks = int(checks.Load())
+						res.CacheHits = int(cacheHits.Load())
 						return nil, fmt.Errorf("minimize: check is not monotone on buffer %q: capacity %d feasible but %d infeasible", b, hi, pts[j])
 					case !ok:
 						lo = pts[j] + 1
@@ -265,6 +335,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 		}
 	}
 	res.Checks = int(checks.Load())
+	res.CacheHits = int(cacheHits.Load())
 	res.Caps = cur
 	return res, nil
 }
@@ -294,16 +365,4 @@ func copyCaps(m map[string]int64) map[string]int64 {
 		out[k] = v
 	}
 	return out
-}
-
-func applyCaps(g *taskgraph.Graph, caps map[string]int64) (*taskgraph.Graph, error) {
-	out := g.Clone()
-	for name, c := range caps {
-		b := out.BufferByName(name)
-		if b == nil {
-			return nil, fmt.Errorf("minimize: unknown buffer %q", name)
-		}
-		b.Capacity = c
-	}
-	return out, nil
 }

@@ -28,6 +28,8 @@ func benchmarkMinimize(b *testing.B, workers int) {
 	}
 	opt := Options{Workers: workers}
 	check := DeadlockFreeCheck(g, "wb", 400, workloads, opt)
+	var probes, cached int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := Search([]string{buf}, map[string]int64{buf: 64}, check, opt)
@@ -35,7 +37,11 @@ func benchmarkMinimize(b *testing.B, workers int) {
 			b.Fatal(err)
 		}
 		benchCap = res.Caps[buf]
+		probes = res.Checks
+		cached = res.CacheHits
 	}
+	b.ReportMetric(float64(probes), "probes_sim")
+	b.ReportMetric(float64(cached), "probes_cached")
 }
 
 func BenchmarkMinimizeSerial(b *testing.B)   { benchmarkMinimize(b, 1) }

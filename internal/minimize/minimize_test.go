@@ -242,6 +242,109 @@ func TestSearchSerialParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestSearchCacheSubsumesConfirmationProbes pins the feasibility cache's
+// effect on a three-buffer chain: the confirmation passes of the coordinate
+// descent re-probe assignments whose verdicts monotonicity already
+// determines (each probe at or below a known-infeasible vector, or at or
+// above a known-feasible one), so the cached search must simulate strictly
+// fewer probes while finding identical capacities. In serial the probe
+// sequence is identical with and without the cache, so simulated plus
+// cache-answered probes add up exactly to the uncached check count.
+func TestSearchCacheSubsumesConfirmationProbes(t *testing.T) {
+	g, err := taskgraph.BuildChain(
+		[]taskgraph.Stage{
+			{Name: "a", WCRT: r(1, 1)}, {Name: "b", WCRT: r(1, 1)},
+			{Name: "c", WCRT: r(1, 1)}, {Name: "d", WCRT: r(1, 1)},
+		},
+		[]taskgraph.Link{
+			{Prod: taskgraph.MustQuanta(2), Cons: taskgraph.MustQuanta(2)},
+			{Prod: taskgraph.MustQuanta(3), Cons: taskgraph.MustQuanta(3)},
+			{Prod: taskgraph.MustQuanta(4), Cons: taskgraph.MustQuanta(4)},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a->b", "b->c", "c->d"}
+	upper := map[string]int64{"a->b": 50, "b->c": 50, "c->d": 50}
+	serial := Options{Workers: 1}
+	cached, err := Search(names, upper,
+		DeadlockFreeCheck(g, "d", 100, []sim.Workloads{{}}, serial), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainOpts := Options{Workers: 1, NoCache: true}
+	plain, err := Search(names, upper,
+		DeadlockFreeCheck(g, "d", 100, []sim.Workloads{{}}, plainOpts), plainOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached.Caps, plain.Caps) {
+		t.Fatalf("cache changed the result: cached %v, uncached %v", cached.Caps, plain.Caps)
+	}
+	if cached.Passes != plain.Passes {
+		t.Errorf("cache changed the pass count: %d vs %d", cached.Passes, plain.Passes)
+	}
+	if plain.CacheHits != 0 {
+		t.Errorf("NoCache search reported %d cache hits", plain.CacheHits)
+	}
+	if cached.CacheHits == 0 {
+		t.Error("cached search answered no probe from the cache")
+	}
+	if cached.Checks >= plain.Checks {
+		t.Errorf("cache did not reduce simulated probes: %d cached vs %d uncached", cached.Checks, plain.Checks)
+	}
+	if got, want := cached.Checks+cached.CacheHits, plain.Checks; got != want {
+		t.Errorf("serial probe sequence changed: %d simulated + %d cached = %d, want %d",
+			cached.Checks, cached.CacheHits, got, want)
+	}
+}
+
+// TestSearchCacheParityOnRandomChains pins the acceptance contract that the
+// feasibility cache never changes the capacities the search finds — on
+// seeded random chains, serial and parallel.
+func TestSearchCacheParityOnRandomChains(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := graphgen.Defaults(seed + 300)
+		g, c, err := graphgen.Random(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := g.Buffers()
+		buffers := make([]string, 0, len(bufs))
+		upper := make(map[string]int64, len(bufs))
+		for _, b := range bufs {
+			buffers = append(buffers, b.Name)
+			upper[b.Name] = 40
+		}
+		workloads := []sim.Workloads{
+			sim.UniformWorkloads(g, seed),
+			sim.AdversarialWorkloads(g, sim.AdversaryMin),
+		}
+		for _, workers := range []int{1, 4} {
+			opts := Options{Workers: workers}
+			cached, err := Search(buffers, upper,
+				DeadlockFreeCheck(g, c.Task, 60, workloads, opts), opts)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			opts.NoCache = true
+			plain, err := Search(buffers, upper,
+				DeadlockFreeCheck(g, c.Task, 60, workloads, opts), opts)
+			if err != nil {
+				t.Fatalf("seed %d workers %d (no cache): %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(cached.Caps, plain.Caps) {
+				t.Fatalf("seed %d workers %d: cache changed the result\ncached:   %v\nuncached: %v",
+					seed, workers, cached.Caps, plain.Caps)
+			}
+			if cached.Passes != plain.Passes {
+				t.Errorf("seed %d workers %d: pass count %d vs %d", seed, workers, cached.Passes, plain.Passes)
+			}
+		}
+	}
+}
+
 func TestDeadlockCheckUnknownBuffer(t *testing.T) {
 	g := figure1Graph(t)
 	check := DeadlockFreeCheck(g, "wb", 10, []sim.Workloads{

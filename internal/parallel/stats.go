@@ -18,6 +18,10 @@ type Stats struct {
 	// Events counts discrete-event simulator events processed by the
 	// probes; 0 for purely analytic runs.
 	Events int64
+	// CacheHits counts probes answered by a feasibility cache without
+	// simulating (see minimize.Result.CacheHits); 0 when no cached
+	// search ran.
+	CacheHits int64
 	// Workers is the worker bound the run used.
 	Workers int
 	// Wall and CPU are the elapsed wall-clock and process CPU time. CPU
@@ -26,11 +30,21 @@ type Stats struct {
 	CPU  time.Duration
 }
 
+// EventsPerSec returns the simulated-event throughput over the wall time,
+// or 0 before the timer was stopped.
+func (s Stats) EventsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Wall.Seconds()
+}
+
 // String renders the stats in the one-line form the commands print.
 func (s Stats) String() string {
-	return fmt.Sprintf("probes=%d sim_events=%d workers=%d wall=%s cpu=%s",
+	return fmt.Sprintf("probes=%d sim_events=%d workers=%d wall=%s cpu=%s events_per_sec=%.0f cache_hits=%d",
 		s.Probes, s.Events, s.Workers,
-		s.Wall.Round(time.Microsecond), s.CPU.Round(time.Microsecond))
+		s.Wall.Round(time.Microsecond), s.CPU.Round(time.Microsecond),
+		s.EventsPerSec(), s.CacheHits)
 }
 
 // Timer measures the wall and CPU time of a run for a Stats record.

@@ -17,11 +17,17 @@
 //
 // Time is integer ticks derived from an exact rational TimeBase, so
 // simulated schedules are bit-reproducible and free of rounding artefacts.
+//
+// The engine is built for tight feasibility-search loops: Compile builds all
+// index-based state of a run once, Reset rewinds it in O(graph) without
+// reallocating, and the event loop itself — a typed binary heap over a
+// preallocated []event plus a dirty-actor worklist — performs no heap
+// allocation per event. Run is the convenience wrapper for one-shot use.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"slices"
 	"sort"
 
 	"vrdfcap/internal/quanta"
@@ -123,6 +129,12 @@ type Config struct {
 	// violation aborts the run with an error. Costs one pass over the
 	// invariants per event.
 	CheckInvariants bool
+	// LiteResult skips the per-actor and per-edge summary maps of the
+	// Result (Fired, Finished, BusyTicks, Edges). Feasibility probes
+	// that only read Outcome pay for none of the bookkeeping they never
+	// look at; explicitly requested recordings (Starts, Transfers,
+	// Occupancy) are still collected.
+	LiteResult bool
 }
 
 // TokenInvariant bounds the token sum of a set of edges.
@@ -254,13 +266,15 @@ type Result struct {
 
 const defaultMaxEvents = 50_000_000
 
-// Run executes the configured simulation.
+// Run executes the configured simulation: Compile plus one (*Machine).Run.
+// Callers probing many variants of one graph should Compile once and Reset
+// between runs instead.
 func Run(cfg Config) (*Result, error) {
-	e, err := newEngine(cfg)
+	m, err := Compile(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return e.run()
+	return m.Run()
 }
 
 type portRef struct {
@@ -291,6 +305,8 @@ type actorState struct {
 
 type edgeState struct {
 	name      string
+	initial   int64 // default token count at tick 0
+	consumer  int   // index of the destination actor
 	tokens    int64
 	peak      int64
 	min       int64
@@ -329,40 +345,88 @@ type event struct {
 	seq   int64 // tiebreaker for deterministic ordering
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].tick != q[j].tick {
-		return q[i].tick < q[j].tick
+// eventLess is the total order of the event calendar: time, then kind
+// (finishes before starts at equal time), then push order. Total because
+// seq is unique, so the pop sequence is independent of heap layout.
+func eventLess(a, b event) bool {
+	if a.tick != b.tick {
+		return a.tick < b.tick
 	}
-	if q[i].kind != q[j].kind {
-		return q[i].kind < q[j].kind // finishes before starts at equal time
+	if a.kind != b.kind {
+		return a.kind < b.kind
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+	return a.seq < b.seq
 }
 
-type engine struct {
+// eventHeap is a hand-inlined binary min-heap over a preallocated []event.
+// Unlike container/heap it moves concrete values — no interface boxing, no
+// per-push/per-pop allocation in the steady state.
+type eventHeap []event
+
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && eventLess(q[r], q[l]) {
+			least = r
+		}
+		if !eventLess(q[least], q[i]) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	*h = q
+	return top
+}
+
+// Machine is a compiled simulation: the graph validated, the time base
+// resolved and every per-actor/per-edge structure built, ready to run.
+// Compile once, then alternate Reset and Run to probe many initial-token
+// variants of the same configuration without paying the build cost again —
+// results are bit-identical to a fresh Run of the same configuration.
+//
+// A Machine is not safe for concurrent use; feasibility searches keep one
+// per worker.
+type Machine struct {
 	cfg        Config
 	base       TimeBase
 	actors     []*actorState
 	byName     map[string]*actorState
+	edgeList   []*edgeState
 	edges      map[string]*edgeState
-	eq         eventQueue
+	eq         eventHeap
 	seq        int64
 	events     int64
 	maxEvents  int64
 	stop       *actorState
 	invariants []resolvedInvariant
+	dirty      []int32 // ASAP actors to re-examine at the current tick
+	dirtyIn    []bool
+	ran        bool // a Run consumed the state; Reset required
 }
 
 type resolvedInvariant struct {
@@ -373,13 +437,13 @@ type resolvedInvariant struct {
 
 // checkInvariants validates the configured token invariants; called after
 // every event when enabled.
-func (e *engine) checkInvariants(tick int64) error {
-	for _, es := range e.edges {
+func (m *Machine) checkInvariants(tick int64) error {
+	for _, es := range m.edgeList {
 		if es.tokens < 0 {
 			return fmt.Errorf("sim: invariant violated at tick %d: edge %s has %d tokens", tick, es.name, es.tokens)
 		}
 	}
-	for _, inv := range e.invariants {
+	for _, inv := range m.invariants {
 		var sum int64
 		for _, es := range inv.edges {
 			sum += es.tokens
@@ -391,7 +455,10 @@ func (e *engine) checkInvariants(tick int64) error {
 	return nil
 }
 
-func newEngine(cfg Config) (*engine, error) {
+// Compile validates the configuration, resolves the time base and builds
+// all index-based simulation state once. The returned Machine is ready to
+// Run; call Reset between runs to reuse it.
+func Compile(cfg Config) (*Machine, error) {
 	g := cfg.Graph
 	if g == nil {
 		return nil, fmt.Errorf("sim: nil graph")
@@ -421,15 +488,15 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, err
 	}
 
-	e := &engine{
+	m := &Machine{
 		cfg:       cfg,
 		base:      base,
 		byName:    make(map[string]*actorState),
 		edges:     make(map[string]*edgeState),
 		maxEvents: cfg.MaxEvents,
 	}
-	if e.maxEvents <= 0 {
-		e.maxEvents = defaultMaxEvents
+	if m.maxEvents <= 0 {
+		m.maxEvents = defaultMaxEvents
 	}
 
 	recordStart := make(map[string]bool, len(cfg.RecordStarts))
@@ -457,14 +524,12 @@ func newEngine(cfg Config) (*engine, error) {
 	for _, ge := range g.Edges() {
 		es := &edgeState{
 			name:      ge.Name,
-			tokens:    ge.Initial,
-			peak:      ge.Initial,
-			min:       ge.Initial,
+			initial:   ge.Initial,
 			record:    recordEdge[ge.Name],
 			recordOcc: recordOcc[ge.Name],
 		}
-		es.sample(0)
-		e.edges[ge.Name] = es
+		m.edgeList = append(m.edgeList, es)
+		m.edges[ge.Name] = es
 	}
 
 	for i, ga := range g.Actors() {
@@ -501,8 +566,8 @@ func newEngine(cfg Config) (*engine, error) {
 				}
 			}
 		}
-		e.actors = append(e.actors, as)
-		e.byName[ga.Name] = as
+		m.actors = append(m.actors, as)
+		m.byName[ga.Name] = as
 	}
 
 	for _, ge := range g.Edges() {
@@ -525,9 +590,10 @@ func newEngine(cfg Config) (*engine, error) {
 			prod = quanta.Checked(prod, ge.Prod)
 			cons = quanta.Checked(cons, ge.Cons)
 		}
-		es := e.edges[ge.Name]
-		src := e.byName[ge.Src]
-		dst := e.byName[ge.Dst]
+		es := m.edges[ge.Name]
+		src := m.byName[ge.Src]
+		dst := m.byName[ge.Dst]
+		es.consumer = dst.idx
 		src.out = append(src.out, portRef{edge: es, seq: prod})
 		dst.in = append(dst.in, portRef{edge: es, seq: cons})
 	}
@@ -536,24 +602,125 @@ func newEngine(cfg Config) (*engine, error) {
 		for _, inv := range cfg.Invariants {
 			ri := resolvedInvariant{name: inv.Name, max: inv.Max}
 			for _, name := range inv.Edges {
-				es, ok := e.edges[name]
+				es, ok := m.edges[name]
 				if !ok {
 					return nil, fmt.Errorf("sim: invariant %s references unknown edge %q", inv.Name, name)
 				}
 				ri.edges = append(ri.edges, es)
 			}
-			e.invariants = append(e.invariants, ri)
+			m.invariants = append(m.invariants, ri)
 		}
 	}
 
-	e.stop = e.byName[cfg.Stop.Actor]
-	return e, nil
+	m.stop = m.byName[cfg.Stop.Actor]
+	// The calendar holds at most one finish per actor, one pending
+	// periodic attempt per periodic actor and one armed shifted start per
+	// shifted actor; preallocate past that so the steady state never
+	// grows the backing array.
+	m.eq = make(eventHeap, 0, 3*len(m.actors)+8)
+	m.dirty = make([]int32, 0, len(m.actors))
+	m.dirtyIn = make([]bool, len(m.actors))
+	if err := m.Reset(nil); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
-func (e *engine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	heap.Push(&e.eq, ev)
+// Base returns the machine's resolved time base.
+func (m *Machine) Base() TimeBase { return m.base }
+
+// setInvariantMax repoints the bound of a named token invariant, if it was
+// compiled in (invariants are only resolved under CheckInvariants). The
+// verifier uses this to keep buffer invariants in step with per-probe
+// capacity overrides.
+func (m *Machine) setInvariantMax(name string, max int64) {
+	for i := range m.invariants {
+		if m.invariants[i].name == name {
+			m.invariants[i].max = max
+		}
+	}
+}
+
+// Reset rewinds the machine to tick 0 so it can Run again. initialTokens
+// optionally overrides the initial token count of the named edges for the
+// next run (capacity probes override the space edges); edges without an
+// entry revert to the graph's initial tokens. No compiled structure is
+// rebuilt and no per-edge state is reallocated.
+func (m *Machine) Reset(initialTokens map[string]int64) error {
+	for name := range initialTokens {
+		if _, ok := m.edges[name]; !ok {
+			return fmt.Errorf("sim: Reset: unknown edge %q", name)
+		}
+	}
+	for _, es := range m.edgeList {
+		tok := es.initial
+		if v, ok := initialTokens[es.name]; ok {
+			if v < 0 {
+				return fmt.Errorf("sim: Reset: edge %q: negative initial tokens %d", es.name, v)
+			}
+			tok = v
+		}
+		es.tokens = tok
+		es.peak = tok
+		es.min = tok
+		es.produced = 0
+		es.consumed = 0
+		es.recs = es.recs[:0]
+		es.occ = es.occ[:0]
+		es.sample(0)
+	}
+	for _, a := range m.actors {
+		a.started = 0
+		a.finished = 0
+		a.busyTicks = 0
+		a.busyUntil = 0
+		a.readyAt = 0
+		a.armedFor = -1
+		a.starts = a.starts[:0]
+	}
+	m.eq = m.eq[:0]
+	m.seq = 0
+	m.events = 0
+	m.dirty = m.dirty[:0]
+	for i := range m.dirtyIn {
+		m.dirtyIn[i] = false
+	}
+	m.ran = false
+	return nil
+}
+
+// SetPeriodicOffsetTicks repoints the start offset of a compiled Periodic
+// actor, in ticks of the machine's time base. It takes effect at the next
+// Run; Reset does not revert it. The throughput verifier uses this to try
+// several offsets on one compiled machine.
+func (m *Machine) SetPeriodicOffsetTicks(actor string, ticks int64) error {
+	a := m.byName[actor]
+	if a == nil {
+		return fmt.Errorf("sim: SetPeriodicOffsetTicks: unknown actor %q", actor)
+	}
+	if a.mode != Periodic {
+		return fmt.Errorf("sim: SetPeriodicOffsetTicks: actor %q is not periodic", actor)
+	}
+	if ticks < 0 {
+		return fmt.Errorf("sim: SetPeriodicOffsetTicks: negative offset %d", ticks)
+	}
+	a.offsetT = ticks
+	return nil
+}
+
+func (m *Machine) push(ev event) {
+	ev.seq = m.seq
+	m.seq++
+	m.eq.push(ev)
+}
+
+// markDirty queues an ASAP actor for a start attempt at the current tick.
+func (m *Machine) markDirty(idx int) {
+	if m.actors[idx].mode != ASAP || m.dirtyIn[idx] {
+		return
+	}
+	m.dirtyIn[idx] = true
+	m.dirty = append(m.dirty, int32(idx))
 }
 
 // enabled reports whether actor a's next firing has sufficient tokens on
@@ -572,7 +739,7 @@ func (a *actorState) enabled() (ok bool, lacking *portRef, need int64) {
 
 // start begins actor a's next firing at tick t: consumes input tokens and
 // schedules the finish event.
-func (e *engine) start(a *actorState, t int64) error {
+func (m *Machine) start(a *actorState, t int64) error {
 	k := a.started
 	for i := range a.in {
 		p := &a.in[i]
@@ -593,7 +760,7 @@ func (e *engine) start(a *actorState, t int64) error {
 	}
 	execT := a.rhoTicks
 	if a.exec != nil {
-		et, err := e.base.Ticks(a.exec(k))
+		et, err := m.base.Ticks(a.exec(k))
 		if err != nil {
 			return fmt.Errorf("sim: actor %s firing %d execution time: %w", a.name, k, err)
 		}
@@ -608,13 +775,14 @@ func (e *engine) start(a *actorState, t int64) error {
 	if a.record {
 		a.starts = append(a.starts, t)
 	}
-	e.push(event{tick: t + execT, kind: evFinish, actor: a.idx})
+	m.push(event{tick: t + execT, kind: evFinish, actor: a.idx})
 	return nil
 }
 
 // finish completes actor a's oldest running firing at tick t: produces
-// output tokens.
-func (e *engine) finish(a *actorState, t int64) {
+// output tokens and queues the actors this may enable — the consumers of
+// the edges that received tokens, plus a itself, now free to start again.
+func (m *Machine) finish(a *actorState, t int64) {
 	k := a.finished
 	for i := range a.out {
 		p := &a.out[i]
@@ -631,108 +799,113 @@ func (e *engine) finish(a *actorState, t int64) {
 				p.edge.peak = p.edge.tokens
 			}
 			p.edge.sample(t)
+			m.markDirty(p.edge.consumer)
 		}
 	}
 	a.finished++
+	m.markDirty(a.idx)
 }
 
-// startScan starts every ASAP actor that is enabled at tick t, cascading
-// until a fixpoint (a start at t never enables another start at t by itself
-// because production happens at finish, but zero-consumption firings and
-// multiple enabled actors still need the loop).
-func (e *engine) startScan(t int64) error {
-	for {
-		progress := false
-		for _, a := range e.actors {
-			if a.mode != ASAP {
-				continue
+// startDirty starts every queued ASAP actor that is enabled at tick t, in
+// actor-index order — the same order as the full fixpoint scan it replaces.
+// One ordered pass suffices: production happens only at finish, so a start
+// at t can disable but never enable a peer at t, and an actor can only have
+// become startable through an event that marked it dirty (its own finish, a
+// token arrival on an input edge, or an armed shifted start expiring).
+func (m *Machine) startDirty(t int64) error {
+	if len(m.dirty) == 0 {
+		return nil
+	}
+	slices.Sort(m.dirty)
+	for n := 0; n < len(m.dirty); n++ {
+		idx := m.dirty[n]
+		m.dirtyIn[idx] = false
+		a := m.actors[idx]
+		for a.busyUntil <= t {
+			ok, _, _ := a.enabled()
+			if !ok {
+				break
 			}
-			for a.busyUntil <= t {
-				ok, _, _ := a.enabled()
-				if !ok {
-					break
-				}
-				if a.startShift != nil {
-					if a.armedFor == a.started {
-						// Timer armed for this firing; wait for it.
-						if a.readyAt > t {
-							break
-						}
-					} else {
-						// First time this firing is enabled: apply the
-						// shift once, measured from the enabling time.
-						d := a.startShift(a.started)
-						if d.Sign() < 0 {
-							return fmt.Errorf("sim: actor %s: negative start shift %v", a.name, d)
-						}
-						dt, err := e.base.Ticks(d)
-						if err != nil {
-							return fmt.Errorf("sim: actor %s start shift: %w", a.name, err)
-						}
-						if dt > 0 {
-							a.armedFor = a.started
-							a.readyAt = t + dt
-							e.push(event{tick: a.readyAt, kind: evShiftedStart, actor: a.idx})
-							break
-						}
+			if a.startShift != nil {
+				if a.armedFor == a.started {
+					// Timer armed for this firing; wait for it.
+					if a.readyAt > t {
+						break
+					}
+				} else {
+					// First time this firing is enabled: apply the
+					// shift once, measured from the enabling time.
+					d := a.startShift(a.started)
+					if d.Sign() < 0 {
+						return fmt.Errorf("sim: actor %s: negative start shift %v", a.name, d)
+					}
+					dt, err := m.base.Ticks(d)
+					if err != nil {
+						return fmt.Errorf("sim: actor %s start shift: %w", a.name, err)
+					}
+					if dt > 0 {
+						a.armedFor = a.started
+						a.readyAt = t + dt
+						m.push(event{tick: a.readyAt, kind: evShiftedStart, actor: a.idx})
+						break
 					}
 				}
-				if err := e.start(a, t); err != nil {
-					return err
-				}
-				progress = true
+			}
+			if err := m.start(a, t); err != nil {
+				return err
 			}
 		}
-		if !progress {
-			return nil
-		}
 	}
+	m.dirty = m.dirty[:0]
+	return nil
 }
 
-func (e *engine) run() (*Result, error) {
-	res := &Result{
-		Base:      e.base,
-		Fired:     make(map[string]int64, len(e.actors)),
-		Finished:  make(map[string]int64, len(e.actors)),
-		BusyTicks: make(map[string]int64, len(e.actors)),
-		Starts:    make(map[string][]int64),
-		Transfers: make(map[string][]TransferRec),
-		Occupancy: make(map[string][]OccupancySample),
-		Edges:     make(map[string]EdgeStats, len(e.edges)),
+// Run executes the machine from its reset state to completion. After a run
+// the machine must be Reset before running again.
+func (m *Machine) Run() (*Result, error) {
+	if m.ran {
+		return nil, fmt.Errorf("sim: Machine.Run called again without Reset")
 	}
+	m.ran = true
+	res := &Result{Base: m.base}
 
-	// Seed periodic actors' first start attempts.
-	for _, a := range e.actors {
+	// Seed periodic actors' first start attempts, and give every ASAP
+	// actor its initial start attempt at tick 0.
+	for _, a := range m.actors {
 		if a.mode == Periodic {
-			e.push(event{tick: a.offsetT, kind: evPeriodicStart, actor: a.idx})
+			m.push(event{tick: a.offsetT, kind: evPeriodicStart, actor: a.idx})
+		} else {
+			m.markDirty(a.idx)
 		}
 	}
-	if err := e.startScan(0); err != nil {
+	if err := m.startDirty(0); err != nil {
 		return nil, err
 	}
 
 	now := int64(0)
-	for e.eq.Len() > 0 && e.stop.finished < e.cfg.Stop.Firings {
-		if e.events >= e.maxEvents {
+	for len(m.eq) > 0 && m.stop.finished < m.cfg.Stop.Firings {
+		if m.events >= m.maxEvents {
 			res.Outcome = LimitExceeded
-			e.fill(res, now)
+			m.fill(res, now)
 			return res, nil
 		}
-		ev := heap.Pop(&e.eq).(event)
-		e.events++
+		ev := m.eq.pop()
+		m.events++
 		now = ev.tick
-		a := e.actors[ev.actor]
+		a := m.actors[ev.actor]
 		switch ev.kind {
 		case evFinish:
-			e.finish(a, now)
-			if a == e.stop && a.finished >= e.cfg.Stop.Firings {
+			m.finish(a, now)
+			if a == m.stop && a.finished >= m.cfg.Stop.Firings {
 				// Stop immediately so no further firing starts at
 				// this tick; counts reflect exactly the requested
 				// horizon.
 				continue
 			}
 		case evShiftedStart:
-			// Handled by the scan below, which sees readyAt <= now.
+			// Handled by the dirty scan below, which sees
+			// readyAt <= now.
+			m.markDirty(ev.actor)
 		case evPeriodicStart:
 			k := a.started
 			schedTick := a.offsetT + k*a.periodT
@@ -744,7 +917,7 @@ func (e *engine) run() (*Result, error) {
 			if a.busyUntil > now {
 				res.Outcome = Underrun
 				res.Underrun = &UnderrunInfo{Actor: a.name, Firing: k, Tick: now}
-				e.fill(res, now)
+				m.fill(res, now)
 				return res, nil
 			}
 			if ok, p, need := a.enabled(); !ok {
@@ -753,37 +926,37 @@ func (e *engine) run() (*Result, error) {
 					Actor: a.name, Firing: k, Tick: now,
 					Edge: p.edge.name, Have: p.edge.tokens, Need: need,
 				}
-				e.fill(res, now)
+				m.fill(res, now)
 				return res, nil
 			}
-			if err := e.start(a, now); err != nil {
+			if err := m.start(a, now); err != nil {
 				return nil, err
 			}
-			if a.started < e.cfg.Stop.Firings || a != e.stop {
-				e.push(event{tick: a.offsetT + a.started*a.periodT, kind: evPeriodicStart, actor: a.idx})
+			if a.started < m.cfg.Stop.Firings || a != m.stop {
+				m.push(event{tick: a.offsetT + a.started*a.periodT, kind: evPeriodicStart, actor: a.idx})
 			}
 		}
-		if e.cfg.CheckInvariants {
-			if err := e.checkInvariants(now); err != nil {
+		if m.cfg.CheckInvariants {
+			if err := m.checkInvariants(now); err != nil {
 				return nil, err
 			}
 		}
 		// Drain all events at the same tick so token releases at `now`
 		// are visible before ASAP starts at `now`.
-		if e.eq.Len() > 0 && e.eq[0].tick == now {
+		if len(m.eq) > 0 && m.eq[0].tick == now {
 			continue
 		}
-		if err := e.startScan(now); err != nil {
+		if err := m.startDirty(now); err != nil {
 			return nil, err
 		}
 	}
 
-	if e.stop.finished >= e.cfg.Stop.Firings {
+	if m.stop.finished >= m.cfg.Stop.Firings {
 		res.Outcome = Completed
 	} else {
 		res.Outcome = Deadlocked
 		dl := &DeadlockInfo{Tick: now}
-		for _, a := range e.actors {
+		for _, a := range m.actors {
 			if ok, p, need := a.enabled(); !ok {
 				dl.Blocked = append(dl.Blocked, BlockedActor{
 					Actor: a.name, Firing: a.started,
@@ -794,34 +967,60 @@ func (e *engine) run() (*Result, error) {
 		sort.Slice(dl.Blocked, func(i, j int) bool { return dl.Blocked[i].Actor < dl.Blocked[j].Actor })
 		res.Deadlock = dl
 	}
-	e.fill(res, now)
+	m.fill(res, now)
 	return res, nil
 }
 
-// fill copies engine state into the result.
-func (e *engine) fill(res *Result, now int64) {
+// fill copies machine state into the result. Recorded series are copied,
+// never aliased, so a Result stays valid after the machine is Reset and
+// reused. Under Config.LiteResult the unconditional summary maps are
+// skipped.
+func (m *Machine) fill(res *Result, now int64) {
 	res.EndTick = now
-	res.Events = e.events
-	for _, a := range e.actors {
-		res.Fired[a.name] = a.started
-		res.Finished[a.name] = a.finished
-		res.BusyTicks[a.name] = a.busyTicks
+	res.Events = m.events
+	lite := m.cfg.LiteResult
+	if !lite {
+		res.Fired = make(map[string]int64, len(m.actors))
+		res.Finished = make(map[string]int64, len(m.actors))
+		res.BusyTicks = make(map[string]int64, len(m.actors))
+		res.Starts = make(map[string][]int64)
+		res.Transfers = make(map[string][]TransferRec)
+		res.Occupancy = make(map[string][]OccupancySample)
+		res.Edges = make(map[string]EdgeStats, len(m.edgeList))
+	}
+	for _, a := range m.actors {
+		if !lite {
+			res.Fired[a.name] = a.started
+			res.Finished[a.name] = a.finished
+			res.BusyTicks[a.name] = a.busyTicks
+		}
 		if a.record {
-			res.Starts[a.name] = a.starts
+			if res.Starts == nil {
+				res.Starts = make(map[string][]int64)
+			}
+			res.Starts[a.name] = append([]int64(nil), a.starts...)
 		}
 	}
-	for name, es := range e.edges {
-		res.Edges[name] = EdgeStats{
-			Produced: es.produced,
-			Consumed: es.consumed,
-			Peak:     es.peak,
-			Min:      es.min,
+	for _, es := range m.edgeList {
+		if !lite {
+			res.Edges[es.name] = EdgeStats{
+				Produced: es.produced,
+				Consumed: es.consumed,
+				Peak:     es.peak,
+				Min:      es.min,
+			}
 		}
 		if es.record {
-			res.Transfers[name] = es.recs
+			if res.Transfers == nil {
+				res.Transfers = make(map[string][]TransferRec)
+			}
+			res.Transfers[es.name] = append([]TransferRec(nil), es.recs...)
 		}
 		if es.recordOcc {
-			res.Occupancy[name] = es.occ
+			if res.Occupancy == nil {
+				res.Occupancy = make(map[string][]OccupancySample)
+			}
+			res.Occupancy[es.name] = append([]OccupancySample(nil), es.occ...)
 		}
 	}
 }

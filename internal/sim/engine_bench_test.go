@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+// benchPairConfig builds the Figure 1 pair at capacity 7 under the
+// alternating 2,3 stream, stopping after the given consumer firings.
+func benchPairConfig(b *testing.B, firings int64, lite bool) Config {
+	b.Helper()
+	g, err := taskgraph.Pair("wa", ratio.MustNew(1, 1), "wb", ratio.MustNew(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Buffers()[0].Capacity = 7
+	cfg, _, err := TaskGraphConfig(g, Workloads{"wa->wb": {Cons: quanta.Cycle(2, 3)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Stop = Stop{Actor: "wb", Firings: firings}
+	cfg.LiteResult = lite
+	return cfg
+}
+
+// BenchmarkFreshRun measures the one-shot path: compile and simulate per
+// operation, full Result.
+func BenchmarkFreshRun(b *testing.B) {
+	cfg := benchPairConfig(b, 500, false)
+	var events int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != Completed {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+		events += res.Events
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}
+
+// BenchmarkReusedMachineRun measures the steady-state probe loop the
+// capacity search runs: Reset and Run on one compiled machine with a lite
+// result. The allocations per operation come from the Result struct alone;
+// the event loop itself is allocation-free.
+func BenchmarkReusedMachineRun(b *testing.B) {
+	cfg := benchPairConfig(b, 500, true)
+	m, err := Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Reset(nil); err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != Completed {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+		events += res.Events
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

@@ -180,19 +180,37 @@ type VerifyOptions struct {
 	// ExtraTimes extends the run's time base (needed for Exec values and
 	// custom offsets with new denominators).
 	ExtraTimes []ratio.Rat
+	// LiteResult skips the per-actor/per-edge summary maps of the phase
+	// Results (see Config.LiteResult); feasibility probes that only read
+	// Verification.OK don't pay for them.
+	LiteResult bool
 }
 
-// VerifyThroughput checks by simulation that the (sized) task graph can
-// satisfy the throughput constraint under the given workload — the
-// experiment the paper runs with its dataflow simulator in §5.
+// Verifier is a compiled throughput verification: both simulation phases —
+// self-timed and strictly periodic — built once and reusable across
+// capacity assignments. Capacity searches compile one Verifier per worker
+// and call Verify with a fresh capacity vector per probe; each probe only
+// resets token counts and counters instead of re-validating and rebuilding
+// the graph.
 //
-// Phase 1 runs self-timed and records the constrained task's start times
-// s_k. Phase 2 forces the constrained task to the strictly periodic
-// schedule O + k·τ with O = max_k (s_k − k·τ), the smallest offset that
-// dominates the self-timed schedule, and reports an underrun if any firing
-// is not enabled at its scheduled start. By monotonicity (Definition 1) a
-// sufficient buffer sizing passes this check for every admissible workload.
-func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOptions) (*Verification, error) {
+// A Verifier is not safe for concurrent use.
+type Verifier struct {
+	c           taskgraph.Constraint
+	firings     int64
+	mapping     *vrdf.Mapping
+	tg          *taskgraph.Graph
+	selfTimed   *Machine
+	periodic    *Machine
+	periodTicks int64
+	// fixedOffsets holds opts.Offsets converted to ticks, tried before
+	// the offsets derived from the self-timed schedule.
+	fixedOffsets []int64
+}
+
+// CompileVerifier validates the constraint and builds both phases of the
+// throughput check once. The graph must be fully sized; Verify(caps) can
+// override buffer capacities per probe without recompiling.
+func CompileVerifier(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOptions) (*Verifier, error) {
 	if err := c.Validate(tg); err != nil {
 		return nil, err
 	}
@@ -200,7 +218,7 @@ func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOp
 	if firings <= 0 {
 		firings = 1000
 	}
-	cfg, _, err := TaskGraphConfig(tg, opts.Workloads)
+	cfg, mapping, err := TaskGraphConfig(tg, opts.Workloads)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +228,7 @@ func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOp
 	cfg.MaxEvents = opts.MaxEvents
 	cfg.RecordStarts = []string{c.Task}
 	cfg.RecordTransfers = opts.RecordTransfers
+	cfg.LiteResult = opts.LiteResult
 	cfg.ExtraTimes = append([]ratio.Rat{c.Period}, opts.Offsets...)
 	cfg.ExtraTimes = append(cfg.ExtraTimes, opts.ExtraTimes...)
 	if len(opts.Exec) > 0 {
@@ -222,7 +241,101 @@ func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOp
 		}
 	}
 
-	selfTimed, err := Run(cfg)
+	selfTimed, err := Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	pcfg := cfg
+	pcfg.Actors = make(map[string]ActorConfig, len(cfg.Actors)+1)
+	for k, ac := range cfg.Actors {
+		pcfg.Actors[k] = ac
+	}
+	// The offset is repointed per attempt via SetPeriodicOffsetTicks;
+	// compile with the placeholder 0.
+	constrained := ActorConfig{Mode: Periodic, Offset: ratio.MustNew(0, 1), Period: c.Period}
+	if prev, ok := cfg.Actors[c.Task]; ok {
+		constrained.Exec = prev.Exec
+	}
+	pcfg.Actors[c.Task] = constrained
+	periodic, err := Compile(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	// Both configs list the same rational times (the placeholder offset
+	// is integral), so the phases share one time base by construction.
+	if selfTimed.Base() != periodic.Base() {
+		return nil, fmt.Errorf("sim: internal error: phase time bases differ (%v vs %v)", selfTimed.Base(), periodic.Base())
+	}
+
+	periodTicks, err := selfTimed.Base().Ticks(c.Period)
+	if err != nil {
+		return nil, fmt.Errorf("sim: period not representable: %w", err)
+	}
+	vf := &Verifier{
+		c:           c,
+		firings:     firings,
+		mapping:     mapping,
+		tg:          tg,
+		selfTimed:   selfTimed,
+		periodic:    periodic,
+		periodTicks: periodTicks,
+	}
+	for _, o := range opts.Offsets {
+		t, err := selfTimed.Base().Ticks(o)
+		if err != nil {
+			return nil, fmt.Errorf("sim: candidate offset %v: %w (list its denominator in the graph's times)", o, err)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("sim: candidate offset %v is negative", o)
+		}
+		vf.fixedOffsets = append(vf.fixedOffsets, t)
+	}
+	return vf, nil
+}
+
+// overrides translates a capacity assignment into the space-edge
+// initial-token overrides of the next runs and repoints the buffer
+// invariants' bounds. Buffers without an entry keep their compiled
+// capacity.
+func (vf *Verifier) overrides(caps map[string]int64) (map[string]int64, error) {
+	if len(caps) == 0 {
+		return nil, nil
+	}
+	ov := make(map[string]int64, len(caps))
+	for name, c := range caps {
+		b := vf.tg.BufferByName(name)
+		if b == nil {
+			return nil, fmt.Errorf("sim: Verify: unknown buffer %q", name)
+		}
+		if c <= 0 {
+			return nil, fmt.Errorf("sim: Verify: buffer %s capacity %d must be positive", name, c)
+		}
+		pair, ok := vf.mapping.Pair(b.DefaultName())
+		if !ok {
+			return nil, fmt.Errorf("sim: Verify: buffer %q has no edge pair", name)
+		}
+		ov[pair.Space] = c
+		vf.selfTimed.setInvariantMax("buffer "+pair.Buffer, c)
+		vf.periodic.setInvariantMax("buffer "+pair.Buffer, c)
+	}
+	return ov, nil
+}
+
+// Verify runs both phases for one capacity assignment: buffers named in
+// caps take that capacity (a space-edge initial-token override on the
+// compiled machines), all others keep the capacity they were compiled
+// with. Verify(nil) checks the graph as compiled. Results are bit-identical
+// to VerifyThroughput on an equivalently sized graph.
+func (vf *Verifier) Verify(caps map[string]int64) (*Verification, error) {
+	ov, err := vf.overrides(caps)
+	if err != nil {
+		return nil, err
+	}
+	if err := vf.selfTimed.Reset(ov); err != nil {
+		return nil, err
+	}
+	selfTimed, err := vf.selfTimed.Run()
 	if err != nil {
 		return nil, err
 	}
@@ -235,12 +348,8 @@ func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOp
 		return v, nil
 	}
 
-	periodTicks, err := selfTimed.Base.Ticks(c.Period)
-	if err != nil {
-		return nil, fmt.Errorf("sim: period not representable: %w", err)
-	}
-	starts := selfTimed.Starts[c.Task]
-	base := MaxLateness(starts, periodTicks)
+	starts := selfTimed.Starts[vf.c.Task]
+	base := MaxLateness(starts, vf.periodTicks)
 
 	// The throughput guarantee is existential in the offset: a periodic
 	// schedule with *some* offset must exist. Try caller-supplied
@@ -248,36 +357,22 @@ func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOp
 	// offset that dominates the self-timed schedule, then grow the
 	// slack; a sizing that underruns even with generous slack is
 	// insufficient.
-	var offsetTicks []int64
-	for _, o := range opts.Offsets {
-		t, err := selfTimed.Base.Ticks(o)
-		if err != nil {
-			return nil, fmt.Errorf("sim: candidate offset %v: %w (list its denominator in the graph's times)", o, err)
-		}
-		if t < 0 {
-			return nil, fmt.Errorf("sim: candidate offset %v is negative", o)
-		}
-		offsetTicks = append(offsetTicks, t)
-	}
+	offsetTicks := append([]int64(nil), vf.fixedOffsets...)
 	for _, slack := range []int64{0, 1, 10, 100} {
-		offsetTicks = append(offsetTicks, base+slack*periodTicks)
+		offsetTicks = append(offsetTicks, base+slack*vf.periodTicks)
 	}
 	for _, ot := range offsetTicks {
 		v.Attempts++
 		v.OffsetTicks = ot
-		v.Offset = selfTimed.Base.Rat(v.OffsetTicks)
+		v.Offset = vf.selfTimed.Base().Rat(ot)
 
-		pcfg := cfg
-		pcfg.Actors = make(map[string]ActorConfig, len(cfg.Actors)+1)
-		for k, ac := range cfg.Actors {
-			pcfg.Actors[k] = ac
+		if err := vf.periodic.SetPeriodicOffsetTicks(vf.c.Task, ot); err != nil {
+			return nil, err
 		}
-		constrained := ActorConfig{Mode: Periodic, Offset: v.Offset, Period: c.Period}
-		if prev, ok := cfg.Actors[c.Task]; ok {
-			constrained.Exec = prev.Exec
+		if err := vf.periodic.Reset(ov); err != nil {
+			return nil, err
 		}
-		pcfg.Actors[c.Task] = constrained
-		periodic, err := Run(pcfg)
+		periodic, err := vf.periodic.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -294,6 +389,26 @@ func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOp
 		}
 	}
 	return v, nil
+}
+
+// VerifyThroughput checks by simulation that the (sized) task graph can
+// satisfy the throughput constraint under the given workload — the
+// experiment the paper runs with its dataflow simulator in §5. It is the
+// one-shot form of CompileVerifier + Verify; callers probing many capacity
+// assignments of one graph should compile once instead.
+//
+// Phase 1 runs self-timed and records the constrained task's start times
+// s_k. Phase 2 forces the constrained task to the strictly periodic
+// schedule O + k·τ with O = max_k (s_k − k·τ), the smallest offset that
+// dominates the self-timed schedule, and reports an underrun if any firing
+// is not enabled at its scheduled start. By monotonicity (Definition 1) a
+// sufficient buffer sizing passes this check for every admissible workload.
+func VerifyThroughput(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOptions) (*Verification, error) {
+	vf, err := CompileVerifier(tg, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return vf.Verify(nil)
 }
 
 // MaxLateness returns max_k (starts[k] − k·periodTicks): the smallest offset

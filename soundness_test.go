@@ -2,6 +2,7 @@ package vrdfcap
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"vrdfcap/internal/capacity"
@@ -201,6 +202,116 @@ func TestHybridPolicySoundness(t *testing.T) {
 				if !v.OK {
 					t.Errorf("adversary %v: hybrid sizing failed: %s\n%s",
 						adv, v.Reason, describe(sized, c))
+				}
+			}
+		})
+	}
+}
+
+// TestFreshVsReusedEngineEquivalence extends the seeded-random-chain fuzz
+// to the compiled-machine API: sim.Run (fresh engine per run) and a reused
+// Machine (compile once, Reset between runs) must produce bit-identical
+// Results — including capacity probes via initial-token overrides — and a
+// reused Verifier must match the one-shot VerifyThroughput.
+func TestFreshVsReusedEngineEquivalence(t *testing.T) {
+	for seed := int64(400); seed < 404; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g, c, err := graphgen.Random(graphgen.Defaults(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sized, res, err := Size(g, c, PolicyEquation4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Valid {
+				t.Fatalf("generated chain infeasible: %v", res.Diagnostics)
+			}
+			wl := sim.UniformWorkloads(sized, seed)
+			cfg, mapping, err := sim.TaskGraphConfig(sized, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Stop = sim.Stop{Actor: c.Task, Firings: 120}
+			cfg.Validate = true
+			fresh, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fresh.Outcome != sim.Completed {
+				t.Fatalf("sized chain did not complete: %v", fresh.Outcome)
+			}
+			mach, err := sim.Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 2; rep++ {
+				if rep > 0 {
+					if err := mach.Reset(nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, err := mach.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(fresh, got) {
+					t.Fatalf("rep %d: reused machine diverged from the fresh run", rep)
+				}
+			}
+
+			// Starve the first buffer down to one container via a Reset
+			// override: whatever the outcome (typically Deadlocked), the
+			// probe must match a fresh run of a graph resized to 1.
+			buf := sized.Buffers()[0].DefaultName()
+			pair, ok := mapping.Pair(buf)
+			if !ok {
+				t.Fatalf("no vrdf mapping for %s", buf)
+			}
+			small := sized.Clone()
+			small.BufferByName(buf).Capacity = 1
+			scfg, _, err := sim.TaskGraphConfig(small, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scfg.Stop = cfg.Stop
+			scfg.Validate = true
+			sfresh, err := sim.Run(scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mach.Reset(map[string]int64{pair.Space: 1}); err != nil {
+				t.Fatal(err)
+			}
+			sgot, err := mach.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sfresh, sgot) {
+				t.Fatalf("override probe diverged from the fresh run (outcome %v vs %v)",
+					sgot.Outcome, sfresh.Outcome)
+			}
+
+			// Verifier reuse: repeated Verify calls on one compiled
+			// verifier match the one-shot VerifyThroughput wrapper.
+			opts := VerifyOptions{Firings: 120, Workloads: wl, Validate: true}
+			ref, err := Verify(sized, c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vf, err := sim.CompileVerifier(sized, c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 2; rep++ {
+				got, err := vf.Verify(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("rep %d: reused verifier diverged from VerifyThroughput", rep)
 				}
 			}
 		})
