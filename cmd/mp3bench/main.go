@@ -18,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"vrdfcap"
 	"vrdfcap/internal/capacity"
@@ -43,6 +44,10 @@ func run(args []string, out io.Writer) error {
 	minimizeFlag := fs.Bool("minimize", false, "additionally search the empirically minimal capacities for the VBR workload")
 	minimizeFirings := fs.Int64("minimize-firings", 2205, "DAC firings per minimization probe (default: 50 ms of audio)")
 	parallelN := fs.Int("parallel", 0, "worker goroutines for the verification workloads (0 = GOMAXPROCS, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the simulation-backed steps (0 = unlimited)")
+	maxEvents := fs.Int64("max-events", 0, "cap simulated events per run (0 = engine default)")
+	jitterStr := fs.String("jitter", "", "admissible execution-time jitter fraction in [0, 1) injected during verification, e.g. 1/2")
+	degradationStr := fs.String("degradation", "", "sweep fault-injection overrun factors from 1 up to this value (> 1, e.g. 2 or 3/2)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +58,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer stopProfiling()
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+	var jitter vrdfcap.RatNum
+	if *jitterStr != "" {
+		if jitter, err = vrdfcap.ParseRat(*jitterStr); err != nil {
+			return fmt.Errorf("bad -jitter: %w", err)
+		}
+	}
 
 	g, err := mp3.Graph()
 	if err != nil {
@@ -106,7 +121,7 @@ func run(args []string, out io.Writer) error {
 			cs.SinkOffset, cs.SinkOffset.Float64()*1000, cs.LatencyBound.Float64()*1000)
 	}
 
-	if *skipVerify && !*minimizeFlag {
+	if *skipVerify && !*minimizeFlag && *degradationStr == "" {
 		return nil
 	}
 
@@ -124,7 +139,7 @@ func run(args []string, out io.Writer) error {
 		for _, n := range names {
 			upper[n] = res.BufferByName(n).Capacity
 		}
-		mopts := minimize.Options{Workers: *parallelN}
+		mopts := minimize.Options{Workers: *parallelN, MaxEvents: *maxEvents, Deadline: deadline}
 		check := minimize.ThroughputCheck(g, c, *minimizeFirings,
 			[]sim.Workloads{{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), *seed)}}}, mopts)
 		mres, err := minimize.Search(names[:], upper, check, mopts)
@@ -142,9 +157,46 @@ func run(args []string, out io.Writer) error {
 			res.TotalCapacity(), mres.Total())
 		return nil
 	}
-	if *skipVerify {
-		if err := runMinimize(); err != nil {
+	// runDegradation sweeps overrun factors at the Equation 4 capacities:
+	// the robustness margin of the paper's sizing, as a curve from nominal
+	// timing to 2x overruns on every 7th firing.
+	runDegradation := func() error {
+		maxFactor, err := vrdfcap.ParseRat(*degradationStr)
+		if err != nil {
+			return fmt.Errorf("bad -degradation: %w", err)
+		}
+		if !vrdfcap.Rat(1, 1).Less(maxFactor) {
+			return fmt.Errorf("-degradation factor %s must exceed 1", maxFactor)
+		}
+		curve, err := vrdfcap.SweepDegradation(vrdfcap.DegradationConfig{
+			Graph:      sized,
+			Constraint: c,
+			Factors:    vrdfcap.OverrunFactors(vrdfcap.Rat(1, 1), maxFactor, 9),
+			Jitter:     jitter,
+			Seed:       uint64(*seed),
+			Firings:    *minimizeFirings,
+			Workloads:  vrdfcap.Workloads{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), *seed)}},
+			Workers:    *parallelN,
+			Deadline:   deadline,
+		})
+		if err != nil {
 			return err
+		}
+		stats.Probes += int64(len(curve.Points))
+		fmt.Fprintf(out, "\nfault-injection degradation sweep (%d DAC firings per point, overrun stalls every 7th firing of every task):\n",
+			*minimizeFirings)
+		return vrdfcap.WriteDegradation(out, curve)
+	}
+	if *skipVerify {
+		if *minimizeFlag {
+			if err := runMinimize(); err != nil {
+				return err
+			}
+		}
+		if *degradationStr != "" {
+			if err := runDegradation(); err != nil {
+				return err
+			}
 		}
 		timer.Stop(&stats)
 		fmt.Fprintf(out, "\nrun stats: %s\n", stats)
@@ -152,6 +204,13 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nverifying by simulation (%d DAC firings per workload, %d workers)...\n",
 		*firings, stats.Workers)
+	var inj *vrdfcap.FaultInjector
+	if jitter.Sign() > 0 {
+		if inj, err = vrdfcap.NewFaultInjector(sized, vrdfcap.FaultSpec{Jitter: jitter, Seed: uint64(*seed)}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  (with admissible execution-time jitter up to %s of ρ, seed %d)\n", jitter, *seed)
+	}
 	streams := []struct {
 		name string
 		seq  vrdfcap.Sequence
@@ -165,11 +224,17 @@ func run(args []string, out io.Writer) error {
 	// report in order, failing on the first bad stream as the serial loop
 	// did.
 	verifications, err := parallel.Map(context.Background(), *parallelN, len(streams), func(i int) (*vrdfcap.Verification, error) {
-		return vrdfcap.Verify(sized, c, vrdfcap.VerifyOptions{
+		vopts := vrdfcap.VerifyOptions{
 			Firings:   *firings,
 			Workloads: vrdfcap.Workloads{names[0]: {Cons: streams[i].seq}},
 			Validate:  true,
-		})
+			MaxEvents: *maxEvents,
+			Deadline:  deadline,
+		}
+		if inj != nil {
+			inj.Apply(&vopts)
+		}
+		return vrdfcap.Verify(sized, c, vopts)
 	})
 	if err != nil {
 		return err
@@ -224,6 +289,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if *minimizeFlag {
 		if err := runMinimize(); err != nil {
+			return err
+		}
+	}
+	if *degradationStr != "" {
+		if err := runDegradation(); err != nil {
 			return err
 		}
 	}

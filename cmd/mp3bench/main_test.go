@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"vrdfcap"
 )
 
 func TestTableWithoutVerification(t *testing.T) {
@@ -104,5 +107,67 @@ func TestParallelVerificationMatchesSerial(t *testing.T) {
 	}
 	if !strings.Contains(par.String(), "run stats: probes=5") {
 		t.Errorf("stats line missing:\n%s", par.String())
+	}
+}
+
+func TestDegradationSkipVerify(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-skip-verify", "-degradation", "2", "-minimize-firings", "441", "-parallel", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	wants := []string{
+		"fault-injection degradation sweep (441 DAC firings per point",
+		"overrun factor",
+		"slack",
+	}
+	for _, w := range wants {
+		if !strings.Contains(text, w) {
+			t.Errorf("output missing %q:\n%s", w, text)
+		}
+	}
+	// The curve is deterministic in (config, seed): a serial run must agree.
+	var serial bytes.Buffer
+	if err := run([]string{"-skip-verify", "-degradation", "2", "-minimize-firings", "441", "-parallel", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(serial.String()) != stripTimings(text) {
+		t.Errorf("degradation sweep differs between worker counts:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), text)
+	}
+}
+
+func TestJitteredVerificationShortHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation horizon too long for -short")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-firings", "2205", "-jitter", "1/2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "with admissible execution-time jitter up to 1/2") {
+		t.Errorf("jitter notice missing:\n%s", text)
+	}
+	if !strings.Contains(text, "all workloads sustained the 44.1 kHz schedule") {
+		t.Errorf("jittered verification did not sustain the schedule:\n%s", text)
+	}
+}
+
+func TestTimeoutExpired(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-firings", "441", "-timeout", "1ns"}, &out)
+	if !errors.Is(err, vrdfcap.ErrBudgetExceeded) {
+		t.Errorf("expired -timeout: err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestBadFaultFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-skip-verify", "-degradation", "1"}, &out); err == nil {
+		t.Error("-degradation factor 1 accepted (must exceed 1)")
+	}
+	if err := run([]string{"-firings", "441", "-jitter", "bogus"}, &out); err == nil {
+		t.Error("malformed -jitter accepted")
 	}
 }

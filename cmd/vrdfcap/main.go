@@ -24,7 +24,12 @@
 //	-sweep list    comma-separated periods for a trade-off table
 //	-exact         exhaustive deadlock-freedom certificate (small graphs)
 //	-minimize      search the empirically minimal capacities by simulation
+//	-minimize-firings n  firings per minimization probe (0 = use -firings)
 //	-parallel n    worker goroutines for the sweep (0 = GOMAXPROCS)
+//	-timeout d     wall-clock budget for simulation-backed steps (0 = none)
+//	-max-events n  cap simulated events per run (0 = engine default)
+//	-jitter q      admissible execution-time jitter in [0,1) for -verify
+//	-degradation q fault-injection sweep up to overrun factor q (> 1)
 //	-stats         print run statistics (probes, events, wall/CPU time)
 //	-cpuprofile f  write a CPU profile to f
 //	-memprofile f  write a heap profile to f on exit
@@ -38,6 +43,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"vrdfcap"
 	"vrdfcap/internal/capacity"
@@ -66,7 +72,12 @@ func run(args []string, out io.Writer) error {
 	sweep := fs.String("sweep", "", "comma-separated periods to sweep for a throughput/buffer trade-off table")
 	exactFlag := fs.Bool("exact", false, "certify the sizing deadlock-free by exhaustive adversarial search (small graphs)")
 	minimizeFlag := fs.Bool("minimize", false, "search the empirically minimal capacities that still satisfy the constraint (simulation-based)")
+	minimizeFirings := fs.Int64("minimize-firings", 0, "firings of the constrained task per minimization probe (0 = use -firings)")
 	parallelN := fs.Int("parallel", 0, "worker goroutines for the period sweep (0 = GOMAXPROCS, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for simulation-backed steps (0 = unlimited)")
+	maxEvents := fs.Int64("max-events", 0, "cap simulated events per run (0 = engine default)")
+	jitterStr := fs.String("jitter", "", "admissible execution-time jitter fraction in [0, 1) injected during -verify, e.g. 1/2")
+	degradationStr := fs.String("degradation", "", "sweep fault-injection overrun factors from 1 up to this value (> 1, e.g. 2 or 3/2)")
 	statsFlag := fs.Bool("stats", false, "print run statistics (analyses, simulation events, wall/CPU time)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -102,6 +113,18 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// One budget covers the whole invocation: every simulation-backed step
+	// below shares the same wall-clock deadline.
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+	var jitter vrdfcap.RatNum
+	if *jitterStr != "" {
+		if jitter, err = vrdfcap.ParseRat(*jitterStr); err != nil {
+			return fmt.Errorf("bad -jitter: %w", err)
+		}
+	}
 	stats := parallel.Stats{Workers: parallel.Workers(*parallelN)}
 	timer := parallel.StartTimer()
 	sized, res, err := vrdfcap.Size(g, *c, policy)
@@ -126,7 +149,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		pts, err := vrdfcap.SweepPeriodsOpt(g, c.Task, periods, policy, vrdfcap.SweepOptions{Workers: *parallelN})
+		pts, err := vrdfcap.SweepPeriodsOpt(g, c.Task, periods, policy, vrdfcap.SweepOptions{Workers: *parallelN, Deadline: deadline})
 		if err != nil {
 			return err
 		}
@@ -155,11 +178,22 @@ func run(args []string, out io.Writer) error {
 		if !res.Valid {
 			fmt.Fprintln(out, "\nskipping verification: the analysis already proved the constraint infeasible")
 		} else {
-			v, err := vrdfcap.Verify(sized, *c, vrdfcap.VerifyOptions{
+			vopts := vrdfcap.VerifyOptions{
 				Firings:   *firings,
 				Workloads: vrdfcap.UniformWorkloads(sized, *seed),
 				Validate:  true,
-			})
+				MaxEvents: *maxEvents,
+				Deadline:  deadline,
+			}
+			if jitter.Sign() > 0 {
+				inj, err := vrdfcap.NewFaultInjector(sized, vrdfcap.FaultSpec{Jitter: jitter, Seed: uint64(*seed)})
+				if err != nil {
+					return err
+				}
+				inj.Apply(&vopts)
+				fmt.Fprintf(out, "\ninjecting admissible execution-time jitter up to %s of ρ (seed %d)\n", jitter, *seed)
+			}
+			v, err := vrdfcap.Verify(sized, *c, vopts)
 			if err != nil {
 				return err
 			}
@@ -186,8 +220,12 @@ func run(args []string, out io.Writer) error {
 				buffers = append(buffers, b.DefaultName())
 				upper[b.DefaultName()] = b.Capacity
 			}
-			mopts := minimize.Options{Workers: *parallelN}
-			check := minimize.ThroughputCheck(g, *c, *firings,
+			probeFirings := *minimizeFirings
+			if probeFirings <= 0 {
+				probeFirings = *firings
+			}
+			mopts := minimize.Options{Workers: *parallelN, MaxEvents: *maxEvents, Deadline: deadline}
+			check := minimize.ThroughputCheck(g, *c, probeFirings,
 				[]sim.Workloads{vrdfcap.UniformWorkloads(sized, *seed)}, mopts)
 			mres, err := minimize.Search(buffers, upper, check, mopts)
 			if err != nil {
@@ -195,13 +233,44 @@ func run(args []string, out io.Writer) error {
 			}
 			stats.Probes += int64(mres.Checks)
 			stats.CacheHits += int64(mres.CacheHits)
-			fmt.Fprintf(out, "\nempirically minimal capacities for this workload (%d probes simulated, %d answered by the feasibility cache):\n",
-				mres.Checks, mres.CacheHits)
+			fmt.Fprintf(out, "\nempirically minimal capacities for this workload (%d firings per probe; %d probes simulated, %d answered by the feasibility cache):\n",
+				probeFirings, mres.Checks, mres.CacheHits)
 			for _, b := range buffers {
 				fmt.Fprintf(out, "  %-12s analytic %6d  minimal %6d\n", b, upper[b], mres.Caps[b])
 			}
 			fmt.Fprintf(out, "  totals: analytic=%d, minimal=%d (a lower bound for this workload; the analytic sizing covers every admissible workload)\n",
 				res.TotalCapacity(), mres.Total())
+		}
+	}
+	if *degradationStr != "" {
+		maxFactor, err := vrdfcap.ParseRat(*degradationStr)
+		if err != nil {
+			return fmt.Errorf("bad -degradation: %w", err)
+		}
+		if !vrdfcap.Rat(1, 1).Less(maxFactor) {
+			return fmt.Errorf("-degradation factor %s must exceed 1", maxFactor)
+		}
+		if !res.Valid {
+			fmt.Fprintln(out, "\nskipping degradation sweep: the analysis already proved the constraint infeasible")
+		} else {
+			curve, err := vrdfcap.SweepDegradation(vrdfcap.DegradationConfig{
+				Graph:      sized,
+				Constraint: *c,
+				Factors:    vrdfcap.OverrunFactors(vrdfcap.Rat(1, 1), maxFactor, 9),
+				Jitter:     jitter,
+				Seed:       uint64(*seed),
+				Firings:    *firings,
+				Workers:    *parallelN,
+				Deadline:   deadline,
+			})
+			if err != nil {
+				return err
+			}
+			stats.Probes += int64(len(curve.Points))
+			fmt.Fprintln(out, "\nfault-injection degradation sweep (overrun stalls every 7th firing of every task):")
+			if err := vrdfcap.WriteDegradation(out, curve); err != nil {
+				return err
+			}
 		}
 	}
 	if *asJSON {

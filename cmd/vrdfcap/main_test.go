@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -253,5 +254,78 @@ func TestRunParallelSweepAndStats(t *testing.T) {
 	// 1 analysis + 3 sweep points; no verification.
 	if !strings.Contains(out.String(), "run stats: probes=4 sim_events=0 workers=4") {
 		t.Errorf("stats line missing or wrong:\n%s", out.String())
+	}
+}
+
+func TestRunVerifyWithJitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification horizon too long for -short")
+	}
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-verify", "-firings", "441", "-jitter", "1/2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "injecting admissible execution-time jitter up to 1/2") {
+		t.Errorf("jitter notice missing:\n%s", text)
+	}
+	if !strings.Contains(text, "verified: strictly periodic schedule sustained") {
+		t.Errorf("jittered verification did not pass at eq(4) capacities:\n%s", text)
+	}
+}
+
+func TestRunMinimizeFirings(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-minimize", "-minimize-firings", "441", "-parallel", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "441 firings per probe") {
+		t.Errorf("-minimize-firings not honoured:\n%s", text)
+	}
+	if !strings.Contains(text, "minimal=") {
+		t.Errorf("minimization totals missing:\n%s", text)
+	}
+}
+
+func TestRunDegradationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep horizon too long for -short")
+	}
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-degradation", "2", "-firings", "441", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"fault-injection degradation sweep", "overrun factor", "slack"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("degradation output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunTimeoutExpired(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	err := run([]string{"-verify", "-timeout", "1ns", path}, &out)
+	if !errors.Is(err, vrdfcap.ErrBudgetExceeded) {
+		t.Errorf("expired -timeout: err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestRunBadFaultFlags(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-jitter", "nope", path}, &out); err == nil {
+		t.Error("malformed -jitter accepted")
+	}
+	if err := run([]string{"-degradation", "1", path}, &out); err == nil {
+		t.Error("-degradation factor 1 accepted (must exceed 1)")
+	}
+	if err := run([]string{"-verify", "-jitter", "3/2", path}, &out); err == nil {
+		t.Error("inadmissible jitter >= 1 accepted")
 	}
 }

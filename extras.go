@@ -5,6 +5,7 @@ import (
 	"vrdfcap/internal/arbiter"
 	"vrdfcap/internal/capacity"
 	"vrdfcap/internal/exact"
+	"vrdfcap/internal/faults"
 	"vrdfcap/internal/ratio"
 )
 
@@ -32,6 +33,15 @@ type (
 	Binding        = alloc.Binding
 	Platform       = alloc.Platform
 	PlatformResult = alloc.Result
+
+	// Fault injection: deterministic seeded timing faults (jitter within
+	// (0, ρ], overrun stalls beyond ρ) and the degradation sweep that
+	// measures how much overrun a sizing absorbs.
+	FaultSpec         = faults.Spec
+	FaultInjector     = faults.Injector
+	DegradationConfig = faults.DegradationConfig
+	DegradationPoint  = faults.DegradationPoint
+	DegradationCurve  = faults.DegradationCurve
 )
 
 // AnchoredSchedule materialises the absolute-time schedule whose existence
@@ -89,6 +99,33 @@ func ExactPairMinimum(prod, cons QuantaSet) (int64, error) {
 // capacities. Returns the adversarial witness on failure.
 func CertifyDeadlockFree(sized *Graph, maxStates int) (bool, *exact.ChainWitness, error) {
 	return exact.ChainDeadlockFree(sized, maxStates)
+}
+
+// NewFaultInjector validates a fault spec against the graph and compiles
+// the per-task execution-time models; Apply the injector to a VerifyOptions
+// before calling Verify.
+func NewFaultInjector(g *Graph, spec FaultSpec) (*FaultInjector, error) {
+	return faults.New(g, spec)
+}
+
+// SweepDegradation verifies a sized graph at every overrun factor of the
+// config and reports the degradation curve: where the throughput guarantee
+// first breaks and how much overrun slack the sizing had.
+func SweepDegradation(cfg DegradationConfig) (*DegradationCurve, error) {
+	return faults.Sweep(cfg)
+}
+
+// OverrunFactors builds n evenly spaced overrun factors from lo to hi for
+// SweepDegradation.
+func OverrunFactors(lo, hi RatNum, n int) []RatNum {
+	return faults.FactorRange(lo, hi, n)
+}
+
+// BurstyWorkloads builds the bursty adversarial workload (runs of the
+// minimum quantum followed by runs of the maximum) for every buffer with
+// variable quanta.
+func BurstyWorkloads(g *Graph, lowLen, highLen int64) Workloads {
+	return faults.BurstyWorkloads(g, lowLen, highLen)
 }
 
 // GeometricPeriods returns n periods start, start·num/den, start·(num/den)²,

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"vrdfcap/internal/budget"
 	"vrdfcap/internal/parallel"
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/taskgraph"
@@ -32,6 +34,12 @@ type SweepOptions struct {
 	// the error reported on a bad period — are identical for every
 	// setting (see internal/parallel for the first-error contract).
 	Workers int
+	// Context, if non-nil, cancels the sweep cooperatively between
+	// periods; the typed error satisfies budget.ErrCanceled.
+	Context context.Context
+	// Deadline, if non-zero, bounds the sweep in wall-clock time; the
+	// typed error satisfies budget.ErrBudgetExceeded.
+	Deadline time.Time
 }
 
 // SweepPeriods analyses the chain at every given period and returns the
@@ -51,7 +59,11 @@ func SweepPeriodsOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Pol
 	if len(periods) == 0 {
 		return nil, fmt.Errorf("capacity: empty period sweep")
 	}
+	bud := budget.At(opts.Context, opts.Deadline)
 	eval := func(i int) (SweepPoint, error) {
+		if err := bud.Err(); err != nil {
+			return SweepPoint{}, err
+		}
 		tau := periods[i]
 		res, err := Compute(g, taskgraph.Constraint{Task: task, Period: tau}, p)
 		if err != nil {
@@ -75,7 +87,15 @@ func SweepPeriodsOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Pol
 		}
 		return out, nil
 	}
-	return parallel.Map(context.Background(), opts.Workers, len(periods), eval)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pts, err := parallel.Map(ctx, opts.Workers, len(periods), eval)
+	if err != nil {
+		return nil, budget.Classify(err)
+	}
+	return pts, nil
 }
 
 // MinimalFeasiblePeriod returns the smallest candidate period at which the

@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"testing"
+
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+// FuzzJitterAdmissible fuzzes the central robustness guarantee: at the
+// Equation 4 capacities of the paper's Figure 1 pair, *every* admissible
+// execution — jittered response times in (0, ρ] and consumption quanta in
+// {2, 3} — must pass throughput verification. Any counterexample here is a
+// soundness bug in the capacity computation or the simulator, not a test
+// flake: all inputs are deterministic in the fuzzed arguments.
+func FuzzJitterAdmissible(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint64(0))
+	f.Add(uint8(50), uint8(8), uint64(1))
+	f.Add(uint8(99), uint8(16), uint64(12345))
+	f.Add(uint8(87), uint8(3), uint64(0xdeadbeef))
+
+	g, err := taskgraph.Pair("wa", ratio.MustNew(1, 1), "wb", ratio.MustNew(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	c := taskgraph.Constraint{Task: "wb", Period: ratio.MustNew(3, 1)}
+	res, err := capacity.Compute(g, c, capacity.PolicyEquation4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sized, err := capacity.Sized(g, res)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, jitterPct, resolution uint8, seed uint64) {
+		jitter := ratio.MustNew(int64(jitterPct%100), 100)
+		spec := Spec{
+			Jitter:     jitter,
+			Resolution: int64(resolution%32) + 1,
+			Seed:       seed,
+		}
+		inj, err := New(sized, spec)
+		if err != nil {
+			t.Fatalf("admissible spec %+v rejected: %v", spec, err)
+		}
+		if inj.Overruns() {
+			t.Fatalf("jitter-only spec reports overruns")
+		}
+		opts := sim.VerifyOptions{
+			Firings:   200,
+			Workloads: sim.UniformWorkloads(sized, int64(seed)),
+			Validate:  true,
+		}
+		inj.Apply(&opts)
+		v, err := sim.VerifyThroughput(sized, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.OK {
+			t.Fatalf("admissible jitter %v (res %d, seed %d) failed at Eq4 capacities: %s",
+				jitter, spec.Resolution, seed, v.Reason)
+		}
+	})
+}

@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"math/bits"
 	"sync/atomic"
+	"time"
 
+	"vrdfcap/internal/budget"
 	"vrdfcap/internal/parallel"
 	"vrdfcap/internal/sim"
 	"vrdfcap/internal/taskgraph"
@@ -54,6 +56,12 @@ type Options struct {
 	// monotonicity already determines); this exists for measurement and
 	// for checks that are deliberately non-monotone.
 	NoCache bool
+	// Context, if non-nil, cancels checks and searches cooperatively; the
+	// typed error satisfies budget.ErrCanceled (and context.Canceled).
+	Context context.Context
+	// Deadline, if non-zero, bounds checks and searches in wall-clock
+	// time; the typed error satisfies budget.ErrBudgetExceeded.
+	Deadline time.Time
 }
 
 func optOf(opts []Options) Options {
@@ -61,6 +69,23 @@ func optOf(opts []Options) Options {
 		return opts[0]
 	}
 	return Options{}
+}
+
+// ctx returns the option's context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// deadlineCtx returns a context enforcing both Context and Deadline, with
+// the cancel the caller must run to release the deadline timer.
+func (o Options) deadlineCtx() (context.Context, context.CancelFunc) {
+	if o.Deadline.IsZero() {
+		return o.ctx(), func() {}
+	}
+	return context.WithDeadline(o.ctx(), o.Deadline)
 }
 
 // feasibleOutcome maps a simulation outcome onto feasibility. Only two
@@ -89,8 +114,8 @@ var errInfeasible = errors.New("minimize: workload infeasible")
 // pool and ANDs the answers. Like the serial loop it replaces, the verdict
 // is decided by the lowest failing index: an infeasible workload there
 // yields (false, nil) even if a higher index would have errored.
-func allFeasible(workers, n int, eval func(i int) (bool, error)) (bool, error) {
-	_, err := parallel.Map(context.Background(), workers, n, func(i int) (struct{}, error) {
+func allFeasible(ctx context.Context, workers, n int, eval func(i int) (bool, error)) (bool, error) {
+	_, err := parallel.Map(ctx, workers, n, func(i int) (struct{}, error) {
 		ok, err := eval(i)
 		if err != nil {
 			return struct{}{}, err
@@ -106,7 +131,7 @@ func allFeasible(workers, n int, eval func(i int) (bool, error)) (bool, error) {
 	case errors.Is(err, errInfeasible):
 		return false, nil
 	default:
-		return false, err
+		return false, budget.Classify(err)
 	}
 }
 
@@ -128,7 +153,7 @@ func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads
 		if err != nil {
 			return false, err
 		}
-		return allFeasible(o.Workers, len(workloads), func(i int) (bool, error) {
+		return allFeasible(o.ctx(), o.Workers, len(workloads), func(i int) (bool, error) {
 			m, ok := pools[i].get()
 			if !ok {
 				cfg, _, err := sim.TaskGraphConfig(tpl.sized, workloads[i])
@@ -138,6 +163,8 @@ func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads
 				cfg.Stop = sim.Stop{Actor: task, Firings: firings}
 				cfg.MaxEvents = o.MaxEvents
 				cfg.LiteResult = true
+				cfg.Context = o.Context
+				cfg.Deadline = o.Deadline
 				if m, err = sim.Compile(cfg); err != nil {
 					return false, err
 				}
@@ -170,7 +197,7 @@ func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, 
 		if _, err := tpl.overrides(caps); err != nil {
 			return false, err
 		}
-		return allFeasible(o.Workers, len(workloads), func(i int) (bool, error) {
+		return allFeasible(o.ctx(), o.Workers, len(workloads), func(i int) (bool, error) {
 			vf, ok := pools[i].get()
 			if !ok {
 				var err error
@@ -179,6 +206,8 @@ func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, 
 					Workloads:  workloads[i],
 					MaxEvents:  o.MaxEvents,
 					LiteResult: true,
+					Context:    o.Context,
+					Deadline:   o.Deadline,
 				})
 				if err != nil {
 					return false, err
@@ -238,7 +267,12 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 	if len(buffers) == 0 {
 		return nil, fmt.Errorf("minimize: no buffers to search")
 	}
-	workers := parallel.Workers(optOf(opts).Workers)
+	o := optOf(opts)
+	workers := parallel.Workers(o.Workers)
+	// The deadline gets its own derived context so the search stops between
+	// probes even when the CheckFunc ignores budgets.
+	ctx, cancelBudget := o.deadlineCtx()
+	defer cancelBudget()
 	cur := make(map[string]int64, len(buffers))
 	for _, b := range buffers {
 		u, ok := upper[b]
@@ -249,7 +283,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 	}
 	var checks, cacheHits atomic.Int64
 	var cache *feasibilityCache
-	if !optOf(opts).NoCache {
+	if !o.NoCache {
 		cache = newFeasibilityCache(buffers)
 	}
 	// probe answers dominated assignments from the cache (monotonicity
@@ -258,6 +292,9 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 	// including any re-probe of the already verified upper bound — become
 	// cache hits.
 	probe := func(caps map[string]int64) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, budget.Classify(err)
+		}
 		if cache != nil {
 			if feasible, hit := cache.lookup(caps); hit {
 				cacheHits.Add(1)
@@ -267,7 +304,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 		checks.Add(1)
 		ok, err := check(caps)
 		if err != nil {
-			return false, err
+			return false, budget.Classify(err)
 		}
 		if cache != nil {
 			if err := cache.insert(caps, ok); err != nil {
@@ -294,7 +331,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 			lo, hi := int64(1), cur[b]
 			for lo < hi {
 				pts := probePoints(lo, hi, int64(workers))
-				feas, err := parallel.Map(context.Background(), workers, len(pts), func(j int) (bool, error) {
+				feas, err := parallel.Map(ctx, workers, len(pts), func(j int) (bool, error) {
 					caps := copyCaps(cur)
 					caps[b] = pts[j]
 					return probe(caps)
@@ -302,7 +339,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 				if err != nil {
 					res.Checks = int(checks.Load())
 					res.CacheHits = int(cacheHits.Load())
-					return nil, err
+					return nil, budget.Classify(err)
 				}
 				// Monotone narrowing: the largest infeasible probe
 				// raises lo, the smallest feasible probe lowers hi.

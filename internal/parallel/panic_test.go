@@ -1,0 +1,167 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// noLeakedGoroutines fails the test if the goroutine count does not return
+// to its starting level. The runtime needs a moment to reap exited
+// goroutines, so the check polls briefly before giving up.
+func noLeakedGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// panicIn panics deliberately from a named function so the recovered stack
+// has a recognisable frame to assert on.
+func panicIn(msg string) int {
+	panic(msg)
+}
+
+func TestMapRecoversWorkerPanic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, err := Map(context.Background(), 4, 32, func(i int) (int, error) {
+		if i == 7 {
+			return panicIn("kaboom"), nil
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("Map returned nil error for a panicking evaluation")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Index != 7 {
+		t.Errorf("PanicError.Index = %d, want 7", pe.Index)
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("PanicError.Value = %v, want kaboom", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "panicIn") {
+		t.Errorf("PanicError.Stack does not name the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("Error() = %q, want the panic value in the message", err.Error())
+	}
+	noLeakedGoroutines(t, before)
+}
+
+// TestMapPanicKeepsWorkerAlive pins that a recovered panic does not kill
+// the worker goroutine: with one worker and an early panic, every lower
+// index must still have been evaluated (the first-error contract needs the
+// worker to keep draining until the cutoff is decided).
+func TestMapPanicKeepsWorkerAlive(t *testing.T) {
+	var evaluated [8]bool
+	_, err := Map(context.Background(), 1, 8, func(i int) (int, error) {
+		evaluated[i] = true
+		if i == 2 {
+			panic("early")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want PanicError at index 2", err)
+	}
+	for i := 0; i <= 2; i++ {
+		if !evaluated[i] {
+			t.Errorf("index %d below the panic was skipped", i)
+		}
+	}
+}
+
+// TestMapAllWorkersPanic: every evaluation panics; Map must return the
+// panic of the lowest index and all workers must come home.
+func TestMapAllWorkersPanic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		_, err := Map(context.Background(), 8, 64, func(i int) (int, error) {
+			panic(fmt.Sprintf("p%d", i))
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("trial %d: err = %v, want *PanicError", trial, err)
+		}
+		if pe.Index != 0 || pe.Value != "p0" {
+			t.Fatalf("trial %d: got panic of index %d (%v), want index 0", trial, pe.Index, pe.Value)
+		}
+	}
+	noLeakedGoroutines(t, before)
+}
+
+// TestMapPanicLosesToLowerError pins the ranking: a panic at a high index
+// must not displace a plain error at a lower index.
+func TestMapPanicLosesToLowerError(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(context.Background(), 8, 32, func(i int) (int, error) {
+			if i == 20 {
+				panic("late panic")
+			}
+			if i == 3 {
+				time.Sleep(time.Millisecond) // let the panic land first
+				return 0, errors.New("early error")
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "early error" {
+			t.Fatalf("trial %d: err = %v, want the lower-index error", trial, err)
+		}
+	}
+}
+
+func TestMapCancelledMidMapNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := Map(ctx, 4, 10_000, func(i int) (int, error) {
+		if i == 50 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	noLeakedGoroutines(t, before)
+	cancel()
+}
+
+// TestMapPanicUnderCancellation mixes both failure modes concurrently; the
+// pool must neither deadlock nor leak whichever wins the race.
+func TestMapPanicUnderCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := Map(ctx, 4, 1000, func(i int) (int, error) {
+			if i == 10 {
+				cancel()
+			}
+			if i == 11 {
+				panic("race")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("trial %d: nil error", trial)
+		}
+		cancel()
+	}
+	noLeakedGoroutines(t, before)
+}

@@ -12,12 +12,16 @@
 // different results. Design-space exploration over the throughput/buffer
 // trade-off curve is embarrassingly parallel (every probe is an
 // independent pure computation); this package supplies the bound, the
-// cancellation and the determinism, and nothing else.
+// cancellation, the determinism and the panic isolation (a panicking
+// worker is recovered into a *PanicError instead of killing the process),
+// and nothing else.
 package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -31,6 +35,36 @@ func Workers(n int) int {
 	return n
 }
 
+// PanicError is a worker panic recovered by Map, carrying the panic value
+// and the goroutine stack captured at the panic site. Map converts panics
+// into errors so that one faulty evaluation cannot take down the process or
+// leak the pool's goroutines; the stack makes the fault debuggable after
+// the fact.
+type PanicError struct {
+	// Index is the evaluation index whose fn call panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the formatted stack of the panicking goroutine.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: evaluation %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// call evaluates fn(i), converting a panic into a *PanicError so the worker
+// goroutine survives and the pool's first-error semantics apply to panics
+// exactly as they do to returned errors.
+func call[T any](fn func(i int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // Map evaluates fn(i) for every i in [0, n) using at most workers
 // goroutines (<= 0 means GOMAXPROCS) and returns the n results in index
 // order.
@@ -39,8 +73,11 @@ func Workers(n int) int {
 // any evaluation fails, Map returns the error of the smallest failing
 // index, every index below that one is guaranteed to have been evaluated,
 // and indices above it may be skipped. A cancelled context is reported the
-// same way, as the failure of the smallest unevaluated index. fn must be
-// safe for concurrent calls when more than one worker runs.
+// same way, as the failure of the smallest unevaluated index. A panicking
+// evaluation is recovered into a *PanicError carrying the stack and ranked
+// like any other failure, so a panic neither crashes the process nor leaks
+// a goroutine. fn must be safe for concurrent calls when more than one
+// worker runs.
 func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -77,7 +114,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 					fail(i, err)
 					return
 				}
-				v, err := fn(int(i))
+				v, err := call(fn, int(i))
 				if err != nil {
 					fail(i, err)
 					continue

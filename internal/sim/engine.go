@@ -26,10 +26,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
+	"vrdfcap/internal/budget"
 	"vrdfcap/internal/quanta"
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/vrdf"
@@ -56,9 +59,10 @@ type ActorConfig struct {
 	Period ratio.Rat
 	// Exec, if non-nil, gives the execution time of firing k; values
 	// must be positive and at most the actor's response time ρ (the
-	// response time is the worst case). If nil, every firing takes
-	// exactly ρ. Every returned value must be representable in the
-	// run's time base; list the denominators via Config.ExtraTimes.
+	// response time is the worst case) unless Config.AllowOverrun is
+	// set. If nil, every firing takes exactly ρ. Every returned value
+	// must be representable in the run's time base; list the
+	// denominators via Config.ExtraTimes.
 	Exec func(k int64) ratio.Rat
 	// StartShift, if non-nil, delays the start of firing k by the given
 	// non-negative amount beyond its enabling (ASAP mode only). Used by
@@ -107,6 +111,22 @@ type Config struct {
 	// MaxEvents bounds the total number of processed events as a runaway
 	// guard; 0 means the default of 50 million.
 	MaxEvents int64
+	// AllowOverrun permits Exec values beyond the actor's worst-case
+	// response time ρ — a fault-injection mode. The analyses of the
+	// paper assume every firing finishes within ρ, so the engine
+	// rejects larger values by default; with AllowOverrun a stalled
+	// firing simply finishes late, and a periodic actor whose previous
+	// firing is still running at its scheduled start underruns with a
+	// structured diagnostic.
+	AllowOverrun bool
+	// Context, if non-nil, cancels a Run cooperatively: the engine
+	// checks it every budgetCheckInterval events and aborts with an
+	// error satisfying errors.Is(err, budget.ErrCanceled).
+	Context context.Context
+	// Deadline, if non-zero, bounds each Run in wall-clock time; the
+	// engine checks it alongside Context and aborts with an error
+	// satisfying errors.Is(err, budget.ErrBudgetExceeded).
+	Deadline time.Time
 	// RecordStarts lists actors whose firing start times are collected.
 	RecordStarts []string
 	// RecordTransfers lists edges whose token transfers are collected
@@ -266,6 +286,13 @@ type Result struct {
 
 const defaultMaxEvents = 50_000_000
 
+// budgetCheckInterval is how often (in processed events) the event loop
+// re-checks the run's Context and Deadline. A power of two so the check is
+// a mask, not a division; small enough that cancellation is honoured within
+// a fraction of a millisecond of simulation work, large enough that the
+// time.Now call never shows up in profiles.
+const budgetCheckInterval = 4096
+
 // Run executes the configured simulation: Compile plus one (*Machine).Run.
 // Callers probing many variants of one graph should Compile once and Reset
 // between runs instead.
@@ -423,6 +450,7 @@ type Machine struct {
 	events     int64
 	maxEvents  int64
 	stop       *actorState
+	bud        *budget.Budget
 	invariants []resolvedInvariant
 	dirty      []int32 // ASAP actors to re-examine at the current tick
 	dirtyIn    []bool
@@ -494,6 +522,7 @@ func Compile(cfg Config) (*Machine, error) {
 		byName:    make(map[string]*actorState),
 		edges:     make(map[string]*edgeState),
 		maxEvents: cfg.MaxEvents,
+		bud:       budget.At(cfg.Context, cfg.Deadline),
 	}
 	if m.maxEvents <= 0 {
 		m.maxEvents = defaultMaxEvents
@@ -764,8 +793,11 @@ func (m *Machine) start(a *actorState, t int64) error {
 		if err != nil {
 			return fmt.Errorf("sim: actor %s firing %d execution time: %w", a.name, k, err)
 		}
-		if et <= 0 || et > a.rhoTicks {
+		if et <= 0 {
 			return fmt.Errorf("sim: actor %s firing %d execution time %d ticks outside (0, ρ=%d]", a.name, k, et, a.rhoTicks)
+		}
+		if et > a.rhoTicks && !m.cfg.AllowOverrun {
+			return fmt.Errorf("sim: actor %s firing %d execution time %d ticks outside (0, ρ=%d] (set Config.AllowOverrun to inject overrun stalls)", a.name, k, et, a.rhoTicks)
 		}
 		execT = et
 	}
@@ -888,6 +920,11 @@ func (m *Machine) Run() (*Result, error) {
 			res.Outcome = LimitExceeded
 			m.fill(res, now)
 			return res, nil
+		}
+		if m.bud != nil && m.events&(budgetCheckInterval-1) == 0 {
+			if err := m.bud.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run aborted after %d events at tick %d: %w", m.events, now, err)
+			}
 		}
 		ev := m.eq.pop()
 		m.events++

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"vrdfcap/internal/quanta"
 	"vrdfcap/internal/ratio"
@@ -140,6 +142,15 @@ type Verification struct {
 	OK bool
 	// Reason explains a failure in one line.
 	Reason string
+	// Underrun carries the structured diagnostic of the failing phase
+	// when the failure was a missed periodic start: which actor, which
+	// firing, at what tick, and which edge lacked how many tokens. Nil
+	// on success and for non-underrun failures.
+	Underrun *UnderrunInfo
+	// Deadlock carries the structured diagnostic when a phase
+	// deadlocked: the tick and every blocked actor with the edge it
+	// starved on. Nil on success and for non-deadlock failures.
+	Deadlock *DeadlockInfo
 	// OffsetTicks and Offset give the start offset used for the
 	// periodic phase: the smallest offset that dominates the observed
 	// self-timed schedule.
@@ -184,6 +195,17 @@ type VerifyOptions struct {
 	// Results (see Config.LiteResult); feasibility probes that only read
 	// Verification.OK don't pay for them.
 	LiteResult bool
+	// AllowOverrun passes through to Config.AllowOverrun: Exec values
+	// beyond ρ are simulated as late finishes instead of rejected —
+	// fault injection for measuring how much overrun a sizing absorbs.
+	AllowOverrun bool
+	// Context, if non-nil, cancels the verification cooperatively (see
+	// Config.Context); the typed error satisfies budget.ErrCanceled.
+	Context context.Context
+	// Deadline, if non-zero, bounds the verification in wall-clock time
+	// (see Config.Deadline); the typed error satisfies
+	// budget.ErrBudgetExceeded.
+	Deadline time.Time
 }
 
 // Verifier is a compiled throughput verification: both simulation phases —
@@ -229,6 +251,9 @@ func CompileVerifier(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOpt
 	cfg.RecordStarts = []string{c.Task}
 	cfg.RecordTransfers = opts.RecordTransfers
 	cfg.LiteResult = opts.LiteResult
+	cfg.AllowOverrun = opts.AllowOverrun
+	cfg.Context = opts.Context
+	cfg.Deadline = opts.Deadline
 	cfg.ExtraTimes = append([]ratio.Rat{c.Period}, opts.Offsets...)
 	cfg.ExtraTimes = append(cfg.ExtraTimes, opts.ExtraTimes...)
 	if len(opts.Exec) > 0 {
@@ -345,6 +370,8 @@ func (vf *Verifier) Verify(caps map[string]int64) (*Verification, error) {
 		if selfTimed.Deadlock != nil {
 			v.Reason += fmt.Sprintf(" at tick %d", selfTimed.Deadlock.Tick)
 		}
+		v.Underrun = selfTimed.Underrun
+		v.Deadlock = selfTimed.Deadlock
 		return v, nil
 	}
 
@@ -377,6 +404,9 @@ func (vf *Verifier) Verify(caps map[string]int64) (*Verification, error) {
 			return nil, err
 		}
 		v.Periodic = periodic
+		// The structured diagnostics track the last attempt, like Reason.
+		v.Underrun = periodic.Underrun
+		v.Deadlock = periodic.Deadlock
 		switch periodic.Outcome {
 		case Completed:
 			v.OK = true

@@ -88,6 +88,34 @@ func WriteVerification(w io.Writer, v *Verification) error {
 		if _, err := fmt.Fprintf(w, "NOT verified: %s\n", v.Reason); err != nil {
 			return err
 		}
+		if v.Underrun != nil {
+			if _, err := fmt.Fprintf(w, "  underrun: task %s firing %d at tick %d", v.Underrun.Actor, v.Underrun.Firing, v.Underrun.Tick); err != nil {
+				return err
+			}
+			if v.Underrun.Edge != "" {
+				if _, err := fmt.Fprintf(w, ", starved on %s (%d of %d tokens)", v.Underrun.Edge, v.Underrun.Have, v.Underrun.Need); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprint(w, ", previous firing still running"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if v.Deadlock != nil {
+			if _, err := fmt.Fprintf(w, "  deadlock at tick %d: %d task(s) blocked\n", v.Deadlock.Tick, len(v.Deadlock.Blocked)); err != nil {
+				return err
+			}
+			for _, b := range v.Deadlock.Blocked {
+				if _, err := fmt.Fprintf(w, "    %s firing %d starved on %s (%d of %d tokens)\n",
+					b.Actor, b.Firing, b.Edge, b.Have, b.Need); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	if v.SelfTimed != nil {
 		if _, err := fmt.Fprintf(w, "  self-timed phase: %s after %d events, firings per task: %v\n",
@@ -98,6 +126,39 @@ func WriteVerification(w io.Writer, v *Verification) error {
 	if v.Periodic != nil {
 		if _, err := fmt.Fprintf(w, "  periodic phase: %s after %d events\n",
 			v.Periodic.Outcome, v.Periodic.Events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDegradation renders a fault-injection degradation curve: one row per
+// overrun factor with the verification verdict, then the slack summary —
+// how far beyond the worst-case response times the sizing still sustained
+// the throughput constraint.
+func WriteDegradation(w io.Writer, curve *DegradationCurve) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "overrun factor\tverdict\treason")
+	for i := range curve.Points {
+		p := &curve.Points[i]
+		verdict, reason := "ok", "-"
+		if !p.OK {
+			verdict = "FAILED"
+			reason = p.Reason
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", p.Factor, verdict, reason)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if ff := curve.FirstFailure(); ff == nil {
+		if _, err := fmt.Fprintf(w, "\nno degradation observed up to factor %s (slack >= %s)\n",
+			curve.Points[len(curve.Points)-1].Factor, curve.Slack()); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "\nfirst failure at factor %s; overrun slack %s\n",
+			ff.Factor, curve.Slack()); err != nil {
 			return err
 		}
 	}

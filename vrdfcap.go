@@ -39,6 +39,7 @@ package vrdfcap
 import (
 	"io"
 
+	"vrdfcap/internal/budget"
 	"vrdfcap/internal/capacity"
 	"vrdfcap/internal/graphio"
 	"vrdfcap/internal/quanta"
@@ -87,6 +88,26 @@ type (
 	Verification = sim.Verification
 	// VerifyOptions tunes Verify.
 	VerifyOptions = sim.VerifyOptions
+	// UnderrunInfo is the structured diagnostic of a missed periodic
+	// start: actor, firing, tick, and the starved edge (empty when the
+	// previous firing was still running).
+	UnderrunInfo = sim.UnderrunInfo
+	// DeadlockInfo is the structured diagnostic of a deadlocked
+	// simulation: the tick and every blocked actor.
+	DeadlockInfo = sim.DeadlockInfo
+	// BlockedActor is one blocked actor of a DeadlockInfo.
+	BlockedActor = sim.BlockedActor
+)
+
+// Typed cancellation and budget errors, re-exported from internal/budget.
+// Any search, sweep or verification given a Context or Deadline reports
+// running out of either with an error satisfying errors.Is against these.
+var (
+	// ErrCanceled reports a cooperative cancellation via a Context; such
+	// errors also satisfy errors.Is(err, context.Canceled).
+	ErrCanceled = budget.ErrCanceled
+	// ErrBudgetExceeded reports an exhausted wall-clock Deadline.
+	ErrBudgetExceeded = budget.ErrBudgetExceeded
 )
 
 // Capacity policies.
