@@ -17,6 +17,7 @@ import (
 	"vrdfcap/internal/exact"
 	"vrdfcap/internal/minimize"
 	"vrdfcap/internal/mp3"
+	"vrdfcap/internal/probecache"
 	"vrdfcap/internal/quanta"
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/sdf"
@@ -273,6 +274,55 @@ func BenchmarkSection5MP3Minimize(b *testing.B) {
 	}
 	if total >= res.TotalCapacity() {
 		b.Fatalf("empirical minimum %d not below the analytic sizing %d", total, res.TotalCapacity())
+	}
+	b.ReportMetric(float64(total), "min_total_capacity")
+	b.ReportMetric(float64(probes), "probes_sim")
+	b.ReportMetric(float64(cached), "probes_cached")
+}
+
+// BenchmarkSection5MP3MinimizeWarm reruns the §5 minimisation against a
+// pre-warmed shared feasibility frontier (what a second CLI run with
+// -cache-dir sees): every probe of the coordinate descent is answered by
+// the cache, so probes_sim must be exactly zero and the found minimum must
+// match the cold search bit for bit.
+func BenchmarkSection5MP3MinimizeWarm(b *testing.B) {
+	g := mp3Graph(b)
+	c := mp3.Constraint()
+	res, err := Analyze(g, c, PolicyEquation4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := mp3.BufferNames()
+	upper := make(map[string]int64, len(names))
+	for _, n := range names {
+		upper[n] = res.BufferByName(n).Capacity
+	}
+	w := []sim.Workloads{{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), 2008)}}}
+	shared := probecache.NewFrontier(names[:])
+	opts := minimize.Options{Cache: shared}
+	cold, err := minimize.Search(names[:], upper, minimize.ThroughputCheck(g, c, 2205, w), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	var probes, cached int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		check := minimize.ThroughputCheck(g, c, 2205, w)
+		mres, err := minimize.Search(names[:], upper, check, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = mres.Total()
+		probes = mres.Checks
+		cached = mres.CacheHits
+	}
+	if probes != 0 {
+		b.Fatalf("warm search simulated %d probes, want 0", probes)
+	}
+	if total != cold.Total() {
+		b.Fatalf("warm minimum %d diverged from cold minimum %d", total, cold.Total())
 	}
 	b.ReportMetric(float64(total), "min_total_capacity")
 	b.ReportMetric(float64(probes), "probes_sim")

@@ -21,10 +21,12 @@ import (
 	"time"
 
 	"vrdfcap"
+	"vrdfcap/internal/cachecli"
 	"vrdfcap/internal/capacity"
 	"vrdfcap/internal/minimize"
 	"vrdfcap/internal/mp3"
 	"vrdfcap/internal/parallel"
+	"vrdfcap/internal/probecache"
 	"vrdfcap/internal/quanta"
 	"vrdfcap/internal/sim"
 )
@@ -48,6 +50,8 @@ func run(args []string, out io.Writer) error {
 	maxEvents := fs.Int64("max-events", 0, "cap simulated events per run (0 = engine default)")
 	jitterStr := fs.String("jitter", "", "admissible execution-time jitter fraction in [0, 1) injected during verification, e.g. 1/2")
 	degradationStr := fs.String("degradation", "", "sweep fault-injection overrun factors from 1 up to this value (> 1, e.g. 2 or 3/2)")
+	var cacheFlags cachecli.Flags
+	cacheFlags.Register(fs)
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -129,8 +133,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	store := cacheFlags.Store()
 	stats := parallel.Stats{Workers: parallel.Workers(*parallelN)}
 	timer := parallel.StartTimer()
+	// reportStats flushes the verdict cache and prints the shared run
+	// statistics footer of every exit path.
+	reportStats := func() error {
+		written, err := cachecli.Flush(store)
+		if err != nil {
+			return err
+		}
+		timer.Stop(&stats)
+		fmt.Fprintf(out, "\nrun stats: %s\n", stats)
+		cachecli.WriteStats(out, store, written)
+		return nil
+	}
 	// runMinimize searches the smallest capacities that still sustain the
 	// 44.1 kHz schedule for the uniform VBR stream — the empirical lower
 	// bound the paper's analytic sizing is compared against.
@@ -139,7 +156,21 @@ func run(args []string, out io.Writer) error {
 		for _, n := range names {
 			upper[n] = res.BufferByName(n).Capacity
 		}
-		mopts := minimize.Options{Workers: *parallelN, MaxEvents: *maxEvents, Deadline: deadline}
+		fp := probecache.GraphKey(sized,
+			"minimize-throughput",
+			"task="+c.Task, "period="+c.Period.String(),
+			fmt.Sprintf("firings=%d", *minimizeFirings),
+			fmt.Sprintf("workload=uniform-vbr:seed=%d", *seed),
+			fmt.Sprintf("max-events=%d", *maxEvents),
+		)
+		frontier, err := cachecli.Frontier(store, fp, names[:])
+		if err != nil {
+			return err
+		}
+		mopts := minimize.Options{
+			Workers: *parallelN, MaxEvents: *maxEvents, Deadline: deadline,
+			Cache: frontier, NoCache: cacheFlags.Disable,
+		}
 		check := minimize.ThroughputCheck(g, c, *minimizeFirings,
 			[]sim.Workloads{{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), *seed)}}}, mopts)
 		mres, err := minimize.Search(names[:], upper, check, mopts)
@@ -198,9 +229,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
-		timer.Stop(&stats)
-		fmt.Fprintf(out, "\nrun stats: %s\n", stats)
-		return nil
+		return reportStats()
 	}
 	fmt.Fprintf(out, "\nverifying by simulation (%d DAC firings per workload, %d workers)...\n",
 		*firings, stats.Workers)
@@ -297,9 +326,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	timer.Stop(&stats)
-	fmt.Fprintf(out, "\nrun stats: %s\n", stats)
-	return nil
+	return reportStats()
 }
 
 // startProfiling starts a CPU profile and/or arranges a heap profile,

@@ -171,3 +171,37 @@ func TestBadFaultFlags(t *testing.T) {
 		t.Error("malformed -jitter accepted")
 	}
 }
+
+func TestMinimizeCacheDirColdWarm(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-skip-verify", "-minimize", "-minimize-firings", "441", "-cache-dir", dir}
+
+	var cold bytes.Buffer
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	var warm bytes.Buffer
+	if err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "0 probes simulated") {
+		t.Errorf("warm cache-dir run still simulated probes:\n%s", warm.String())
+	}
+	if !strings.Contains(warm.String(), "1 loaded") {
+		t.Errorf("warm run cache stats missing:\n%s", warm.String())
+	}
+	// The found minima must be identical; compare the per-buffer lines.
+	pick := func(s string) (lines []string) {
+		for _, l := range strings.Split(s, "\n") {
+			if strings.Contains(l, "minimal") && strings.Contains(l, "eq(4)") {
+				lines = append(lines, l)
+			}
+		}
+		return lines
+	}
+	coldMin, warmMin := pick(cold.String()), pick(warm.String())
+	if len(coldMin) == 0 || strings.Join(coldMin, "\n") != strings.Join(warmMin, "\n") {
+		t.Errorf("warm cache changed the minima:\n--- cold ---\n%s\n--- warm ---\n%s",
+			strings.Join(coldMin, "\n"), strings.Join(warmMin, "\n"))
+	}
+}

@@ -30,6 +30,8 @@
 //	-max-events n  cap simulated events per run (0 = engine default)
 //	-jitter q      admissible execution-time jitter in [0,1) for -verify
 //	-degradation q fault-injection sweep up to overrun factor q (> 1)
+//	-cache-dir d   persist probe verdicts under d and warm-start from them
+//	-no-cache      disable cross-probe verdict caching (wins over -cache-dir)
 //	-stats         print run statistics (probes, events, wall/CPU time)
 //	-cpuprofile f  write a CPU profile to f
 //	-memprofile f  write a heap profile to f on exit
@@ -46,9 +48,11 @@ import (
 	"time"
 
 	"vrdfcap"
+	"vrdfcap/internal/cachecli"
 	"vrdfcap/internal/capacity"
 	"vrdfcap/internal/minimize"
 	"vrdfcap/internal/parallel"
+	"vrdfcap/internal/probecache"
 	"vrdfcap/internal/sim"
 )
 
@@ -79,6 +83,8 @@ func run(args []string, out io.Writer) error {
 	jitterStr := fs.String("jitter", "", "admissible execution-time jitter fraction in [0, 1) injected during -verify, e.g. 1/2")
 	degradationStr := fs.String("degradation", "", "sweep fault-injection overrun factors from 1 up to this value (> 1, e.g. 2 or 3/2)")
 	statsFlag := fs.Bool("stats", false, "print run statistics (analyses, simulation events, wall/CPU time)")
+	var cacheFlags cachecli.Flags
+	cacheFlags.Register(fs)
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -125,6 +131,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("bad -jitter: %w", err)
 		}
 	}
+	store := cacheFlags.Store()
 	stats := parallel.Stats{Workers: parallel.Workers(*parallelN)}
 	timer := parallel.StartTimer()
 	sized, res, err := vrdfcap.Size(g, *c, policy)
@@ -149,7 +156,12 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		pts, err := vrdfcap.SweepPeriodsOpt(g, c.Task, periods, policy, vrdfcap.SweepOptions{Workers: *parallelN, Deadline: deadline})
+		pts, err := vrdfcap.SweepPeriodsOpt(g, c.Task, periods, policy, vrdfcap.SweepOptions{
+			Workers:  *parallelN,
+			Deadline: deadline,
+			NoCache:  cacheFlags.Disable,
+			Cache:    cachecli.Periods(store, capacity.SweepKey(g, c.Task, policy)),
+		})
 		if err != nil {
 			return err
 		}
@@ -224,7 +236,24 @@ func run(args []string, out io.Writer) error {
 			if probeFirings <= 0 {
 				probeFirings = *firings
 			}
-			mopts := minimize.Options{Workers: *parallelN, MaxEvents: *maxEvents, Deadline: deadline}
+			// The fingerprint must pin everything that co-determines a
+			// probe's verdict: the sized graph (upper bounds included),
+			// the constraint, the horizon and the workload.
+			fp := probecache.GraphKey(sized,
+				"minimize-throughput",
+				"task="+c.Task, "period="+c.Period.String(),
+				fmt.Sprintf("firings=%d", probeFirings),
+				fmt.Sprintf("workload=uniform:seed=%d", *seed),
+				fmt.Sprintf("max-events=%d", *maxEvents),
+			)
+			frontier, err := cachecli.Frontier(store, fp, buffers)
+			if err != nil {
+				return err
+			}
+			mopts := minimize.Options{
+				Workers: *parallelN, MaxEvents: *maxEvents, Deadline: deadline,
+				Cache: frontier, NoCache: cacheFlags.Disable,
+			}
 			check := minimize.ThroughputCheck(g, *c, probeFirings,
 				[]sim.Workloads{vrdfcap.UniformWorkloads(sized, *seed)}, mopts)
 			mres, err := minimize.Search(buffers, upper, check, mopts)
@@ -280,9 +309,14 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "\n%s\n", data)
 	}
+	written, err := cachecli.Flush(store)
+	if err != nil {
+		return err
+	}
 	if *statsFlag {
 		timer.Stop(&stats)
 		fmt.Fprintf(out, "\nrun stats: %s\n", &stats)
+		cachecli.WriteStats(out, store, written)
 	}
 	return nil
 }

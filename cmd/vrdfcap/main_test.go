@@ -329,3 +329,134 @@ func TestRunBadFaultFlags(t *testing.T) {
 		t.Error("inadmissible jitter >= 1 accepted")
 	}
 }
+
+// minimizeSection extracts the minimization block (capacities + totals) so
+// cold and warm runs can be compared while timings and stats vary.
+func minimizeSection(t *testing.T, text string) string {
+	t.Helper()
+	i := strings.Index(text, "empirically minimal capacities")
+	j := strings.Index(text, "totals: analytic=")
+	if i < 0 || j < 0 {
+		t.Fatalf("minimize section missing:\n%s", text)
+	}
+	end := strings.IndexByte(text[j:], '\n')
+	if end < 0 {
+		end = len(text) - j
+	}
+	// Drop the first line (it reports probe counts, which differ between
+	// cold and warm runs by design).
+	block := text[i : j+end]
+	if nl := strings.IndexByte(block, '\n'); nl >= 0 {
+		block = block[nl+1:]
+	}
+	return block
+}
+
+func TestRunMinimizeCacheDirColdWarm(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	dir := t.TempDir()
+	args := []string{"-minimize", "-minimize-firings", "441", "-cache-dir", dir, "-stats", path}
+
+	var cold bytes.Buffer
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no cache file written to %s (%v)", dir, err)
+	}
+	if !strings.Contains(cold.String(), "1 written") {
+		t.Errorf("cold run stats missing the flush count:\n%s", cold.String())
+	}
+
+	var warm bytes.Buffer
+	if err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "0 probes simulated") {
+		t.Errorf("warm cache-dir run still simulated probes:\n%s", warm.String())
+	}
+	if !strings.Contains(warm.String(), "1 loaded") {
+		t.Errorf("warm run stats missing the loaded count:\n%s", warm.String())
+	}
+	if got, want := minimizeSection(t, warm.String()), minimizeSection(t, cold.String()); got != want {
+		t.Errorf("warm cache changed the found capacities:\n--- cold ---\n%s\n--- warm ---\n%s", want, got)
+	}
+
+	// Corrupt every cache file: the next run must fall back to cold
+	// simulation — same answers, no trust in the broken files.
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("{definitely not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var healed bytes.Buffer
+	if err := run(args, &healed); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(healed.String(), "0 probes simulated") {
+		t.Errorf("corrupt cache was trusted:\n%s", healed.String())
+	}
+	if !strings.Contains(healed.String(), "1 skipped") {
+		t.Errorf("corrupt file not reported as skipped:\n%s", healed.String())
+	}
+	if got, want := minimizeSection(t, healed.String()), minimizeSection(t, cold.String()); got != want {
+		t.Errorf("post-corruption run changed the found capacities:\n--- cold ---\n%s\n--- healed ---\n%s", want, got)
+	}
+}
+
+func TestRunNoCacheDisablesCaching(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	// Warm the process-wide shared store first, then prove -no-cache
+	// ignores it (and -cache-dir) entirely.
+	var warmup bytes.Buffer
+	if err := run([]string{"-minimize", "-minimize-firings", "441", path}, &warmup); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-minimize", "-minimize-firings", "441", "-no-cache",
+		"-cache-dir", t.TempDir(), "-stats", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Contains(text, "0 probes simulated") {
+		t.Errorf("-no-cache run answered probes from a cache:\n%s", text)
+	}
+	if !strings.Contains(text, ", 0 answered by the feasibility cache") {
+		t.Errorf("-no-cache run reported cache hits:\n%s", text)
+	}
+	if !strings.Contains(text, "cache: disabled") {
+		t.Errorf("stats line does not report the disabled cache:\n%s", text)
+	}
+	if got, want := minimizeSection(t, text), minimizeSection(t, warmup.String()); got != want {
+		t.Errorf("-no-cache changed the found capacities:\n--- cached ---\n%s\n--- no-cache ---\n%s", want, got)
+	}
+}
+
+func TestRunSweepCacheDirPersists(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	dir := t.TempDir()
+	sweep := "1/44100,1/40000,1/30000"
+	var cold, warm bytes.Buffer
+	if err := run([]string{"-sweep", sweep, "-cache-dir", dir, path}, &cold); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("sweep wrote %d cache files (%v), want 1", len(files), err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"periods"`) {
+		t.Errorf("cache file has no period verdicts:\n%s", data)
+	}
+	if err := run([]string{"-sweep", sweep, "-cache-dir", dir, path}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("warm sweep output differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s",
+			cold.String(), warm.String())
+	}
+}

@@ -1,0 +1,101 @@
+package capacity
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+// Analysis is a chain analysis compiled once and evaluated at many
+// periods. Compiling validates the chain structure, fixes the propagation
+// direction and resolves every per-buffer task reference, so that At pays
+// only for the period-dependent arithmetic of §4.3/§4.4 and Equations
+// (1)–(4) — the same compile-once/probe-many split sim.Compile gives the
+// simulator. An Analysis never mutates the graph it was compiled from;
+// mutating that graph after compiling invalidates the Analysis.
+//
+// At is a pure function of the period, so one Analysis may be shared by
+// any number of goroutines — the parallel period sweep compiles once and
+// probes from every worker.
+type Analysis struct {
+	task      string
+	policy    Policy
+	direction Direction
+	tasks     []*taskgraph.Task   // chain order, source to sink
+	buffers   []*taskgraph.Buffer // chain order
+	prod      []*taskgraph.Task   // per buffer: producing task
+	cons      []*taskgraph.Task   // per buffer: consuming task
+}
+
+// CompileAnalysis validates g as a chain with the constrained task at an
+// endpoint and returns the reusable Analysis for probing periods under
+// policy p.
+func CompileAnalysis(g *taskgraph.Graph, task string, p Policy) (*Analysis, error) {
+	if g.Task(task) == nil {
+		return nil, fmt.Errorf("taskgraph: constraint on unknown task %q", task)
+	}
+	tasks, buffers, err := g.Chain()
+	if err != nil {
+		return nil, err
+	}
+	if task != tasks[0].Name && task != tasks[len(tasks)-1].Name {
+		return nil, fmt.Errorf("taskgraph: constrained task %q must be the chain's source %q or sink %q",
+			task, tasks[0].Name, tasks[len(tasks)-1].Name)
+	}
+	a := &Analysis{
+		task:    task,
+		policy:  p,
+		tasks:   tasks,
+		buffers: buffers,
+		prod:    make([]*taskgraph.Task, len(buffers)),
+		cons:    make([]*taskgraph.Task, len(buffers)),
+	}
+	if task == tasks[len(tasks)-1].Name {
+		a.direction = SinkConstrained
+	} else {
+		a.direction = SourceConstrained
+	}
+	for i, b := range buffers {
+		a.prod[i] = g.Task(b.Producer)
+		a.cons[i] = g.Task(b.Consumer)
+	}
+	return a, nil
+}
+
+// Task returns the constrained task the analysis was compiled for.
+func (a *Analysis) Task() string { return a.task }
+
+// Policy returns the capacity policy in force.
+func (a *Analysis) Policy() Policy { return a.policy }
+
+// Direction returns the propagation direction fixed at compile time.
+func (a *Analysis) Direction() Direction { return a.direction }
+
+// At evaluates the compiled analysis at period tau. The Result is
+// identical to Compute on the same graph, constraint and policy.
+func (a *Analysis) At(tau ratio.Rat) (*Result, error) {
+	if tau.Sign() <= 0 {
+		return nil, fmt.Errorf("taskgraph: constraint period must be positive, got %v", tau)
+	}
+	res := &Result{
+		Constraint: taskgraph.Constraint{Task: a.task, Period: tau},
+		Direction:  a.direction,
+		Policy:     a.policy,
+		Phi:        make(map[string]ratio.Rat, len(a.tasks)),
+		Valid:      true,
+	}
+	if err := propagatePhi(res, a.tasks, a.buffers); err != nil {
+		return nil, err
+	}
+	runTaskChecks(res, a.tasks)
+	res.Buffers = make([]BufferResult, 0, len(a.buffers))
+	for i, b := range a.buffers {
+		br, err := computeBuffer(res, b, a.prod[i], a.cons[i], a.policy)
+		if err != nil {
+			return nil, err
+		}
+		res.Buffers = append(res.Buffers, br)
+	}
+	return res, nil
+}

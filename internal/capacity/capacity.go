@@ -216,41 +216,18 @@ func (r *Result) BufferByName(name string) *BufferResult {
 //
 // The graph must be a valid chain and the constrained task must be its sink
 // or its source. Compute never mutates g; use Sized to obtain a copy with
-// the capacities filled in.
+// the capacities filled in. Compute is the one-shot form of
+// CompileAnalysis followed by At; callers probing many periods of the same
+// graph should compile once instead.
 func Compute(g *taskgraph.Graph, c taskgraph.Constraint, p Policy) (*Result, error) {
 	if err := c.Validate(g); err != nil {
 		return nil, err
 	}
-	tasks, buffers, err := g.Chain()
+	a, err := CompileAnalysis(g, c.Task, p)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Constraint: c,
-		Policy:     p,
-		Phi:        make(map[string]ratio.Rat, len(tasks)),
-		Valid:      true,
-	}
-	sink := tasks[len(tasks)-1]
-	if c.Task == sink.Name {
-		res.Direction = SinkConstrained
-	} else {
-		res.Direction = SourceConstrained
-	}
-
-	if err := propagatePhi(res, tasks, buffers); err != nil {
-		return nil, err
-	}
-	runTaskChecks(res, tasks)
-
-	for _, b := range buffers {
-		br, err := computeBuffer(res, g, b, p)
-		if err != nil {
-			return nil, err
-		}
-		res.Buffers = append(res.Buffers, br)
-	}
-	return res, nil
+	return a.At(c.Period)
 }
 
 // propagatePhi fills res.Phi for every task per §4.3 (sink-constrained) or
@@ -315,10 +292,10 @@ func runTaskChecks(res *Result, tasks []*taskgraph.Task) {
 	}
 }
 
-// computeBuffer evaluates Equations (1)–(4) and the baseline for one buffer.
-func computeBuffer(res *Result, g *taskgraph.Graph, b *taskgraph.Buffer, p Policy) (BufferResult, error) {
-	prodTask := g.Task(b.Producer)
-	consTask := g.Task(b.Consumer)
+// computeBuffer evaluates Equations (1)–(4) and the baseline for one
+// buffer; prodTask and consTask are the resolved producing and consuming
+// tasks (hoisted to compile time by CompileAnalysis).
+func computeBuffer(res *Result, b *taskgraph.Buffer, prodTask, consTask *taskgraph.Task, p Policy) (BufferResult, error) {
 	var mu ratio.Rat
 	if res.Direction == SinkConstrained {
 		mu = res.Phi[b.Consumer].DivInt(b.Cons.Max())

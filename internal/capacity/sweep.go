@@ -8,6 +8,7 @@ import (
 
 	"vrdfcap/internal/budget"
 	"vrdfcap/internal/parallel"
+	"vrdfcap/internal/probecache"
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/taskgraph"
 )
@@ -26,7 +27,7 @@ type SweepPoint struct {
 	Result *Result
 }
 
-// SweepOptions tunes SweepPeriodsOpt.
+// SweepOptions tunes SweepPeriodsOpt and MinimalFeasiblePeriodOpt.
 type SweepOptions struct {
 	// Workers bounds the number of periods analysed concurrently: 0
 	// selects GOMAXPROCS, 1 forces the serial path. Every period is an
@@ -40,6 +41,36 @@ type SweepOptions struct {
 	// Deadline, if non-zero, bounds the sweep in wall-clock time; the
 	// typed error satisfies budget.ErrBudgetExceeded.
 	Deadline time.Time
+	// Cache overrides the period-verdict cache the sweep records into and
+	// MinimalFeasiblePeriod probes from. When nil, the process-wide
+	// probecache.Shared() entry under SweepKey(g, task, p) is used, so a
+	// sweep and a later minimal-period search over the same graph share
+	// verdicts automatically. Cached verdicts never change a sweep's
+	// points — every point is fully recomputed and overwrites the cache —
+	// they only let MinimalFeasiblePeriod skip re-analysing periods whose
+	// validity is already decided.
+	Cache *probecache.Periods
+	// NoCache disables verdict recording and lookup entirely; it wins
+	// over Cache.
+	NoCache bool
+}
+
+// cache resolves the period-verdict cache the options select for graph g.
+func (o SweepOptions) cache(g *taskgraph.Graph, task string, p Policy) *probecache.Periods {
+	switch {
+	case o.NoCache:
+		return nil
+	case o.Cache != nil:
+		return o.Cache
+	default:
+		return probecache.Shared().Entry(SweepKey(g, task, p)).Periods()
+	}
+}
+
+// SweepKey returns the probecache fingerprint under which period sweeps of
+// this (graph, constrained task, policy) triple share verdicts.
+func SweepKey(g *taskgraph.Graph, task string, p Policy) string {
+	return probecache.GraphKey(g, "capacity-sweep", task, p.String())
 }
 
 // SweepPeriods analyses the chain at every given period and returns the
@@ -54,27 +85,40 @@ func SweepPeriods(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy
 	return SweepPeriodsOpt(g, task, periods, p, SweepOptions{})
 }
 
-// SweepPeriodsOpt is SweepPeriods with explicit options.
+// SweepPeriodsOpt is SweepPeriods with explicit options. The chain is
+// validated and compiled once (CompileAnalysis); every worker probes the
+// shared compiled analysis instead of re-deriving the chain per period.
 func SweepPeriodsOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy, opts SweepOptions) ([]SweepPoint, error) {
 	if len(periods) == 0 {
 		return nil, fmt.Errorf("capacity: empty period sweep")
 	}
+	a, err := CompileAnalysis(g, task, p)
+	if err != nil {
+		return nil, err
+	}
+	cache := opts.cache(g, task, p)
 	bud := budget.At(opts.Context, opts.Deadline)
 	eval := func(i int) (SweepPoint, error) {
 		if err := bud.Err(); err != nil {
 			return SweepPoint{}, err
 		}
 		tau := periods[i]
-		res, err := Compute(g, taskgraph.Constraint{Task: task, Period: tau}, p)
+		res, err := a.At(tau)
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("capacity: period %v: %w", tau, err)
 		}
-		return SweepPoint{
+		pt := SweepPoint{
 			Period: tau,
 			Valid:  res.Valid,
 			Total:  res.TotalCapacity(),
 			Result: res,
-		}, nil
+		}
+		if cache != nil {
+			// Freshly computed verdicts overwrite whatever was stored, so
+			// a stale or corrupted cache entry heals on the next sweep.
+			cache.Insert(tau, probecache.Verdict{Valid: pt.Valid, Total: pt.Total})
+		}
+		return pt, nil
 	}
 	if parallel.Workers(opts.Workers) == 1 {
 		out := make([]SweepPoint, 0, len(periods))
@@ -105,6 +149,20 @@ func SweepPeriodsOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Pol
 // order (an unsorted list used to silently return the first feasible — not
 // the minimal — period).
 func MinimalFeasiblePeriod(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy) (SweepPoint, error) {
+	return MinimalFeasiblePeriodOpt(g, task, periods, p, SweepOptions{})
+}
+
+// MinimalFeasiblePeriodOpt is MinimalFeasiblePeriod with explicit options.
+//
+// Validity is monotone in the period — every schedule check compares a
+// fixed response time ρ(w) against φ(w) = τ·const with const > 0, so
+// relaxing τ can only help — which makes binary search over the sorted
+// candidates exact. Instead of analysing every candidate (the historical
+// behaviour, which re-verified periods a SweepPeriods in the same process
+// had already answered), the search probes O(log n) candidates and answers
+// each probe from the shared period-verdict cache when a recorded verdict
+// — exact or by dominance — already decides it.
+func MinimalFeasiblePeriodOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Policy, opts SweepOptions) (SweepPoint, error) {
 	if len(periods) == 0 {
 		return SweepPoint{}, fmt.Errorf("capacity: empty period sweep")
 	}
@@ -115,15 +173,61 @@ func MinimalFeasiblePeriod(g *taskgraph.Graph, task string, periods []ratio.Rat,
 		periods = sorted
 		sort.Slice(periods, less)
 	}
-	pts, err := SweepPeriods(g, task, periods, p)
+	a, err := CompileAnalysis(g, task, p)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	for _, pt := range pts {
-		if pt.Valid {
-			return pt, nil
+	cache := opts.cache(g, task, p)
+	bud := budget.At(opts.Context, opts.Deadline)
+	computed := make([]*SweepPoint, len(periods))
+	probe := func(i int) (bool, error) {
+		if err := bud.Err(); err != nil {
+			return false, err
+		}
+		tau := periods[i]
+		if cache != nil {
+			if valid, hit := cache.LookupValid(tau); hit {
+				return valid, nil
+			}
+		}
+		res, err := a.At(tau)
+		if err != nil {
+			return false, fmt.Errorf("capacity: period %v: %w", tau, err)
+		}
+		pt := SweepPoint{Period: tau, Valid: res.Valid, Total: res.TotalCapacity(), Result: res}
+		computed[i] = &pt
+		if cache != nil {
+			cache.Insert(tau, probecache.Verdict{Valid: pt.Valid, Total: pt.Total})
+		}
+		return pt.Valid, nil
+	}
+	// Invariant: every candidate below lo is infeasible, every candidate
+	// at or beyond hi is feasible (by monotonicity once probed).
+	lo, hi := 0, len(periods)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		valid, err := probe(mid)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		if valid {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return SweepPoint{}, fmt.Errorf("capacity: no feasible period among %d candidates (fastest %v, slowest %v)",
-		len(periods), periods[0], periods[len(periods)-1])
+	if lo == len(periods) {
+		return SweepPoint{}, fmt.Errorf("capacity: no feasible period among %d candidates (fastest %v, slowest %v)",
+			len(periods), periods[0], periods[len(periods)-1])
+	}
+	if pt := computed[lo]; pt != nil {
+		return *pt, nil
+	}
+	// The winning probe was answered by the cache; materialise the full
+	// analysis for it once.
+	res, err := a.At(periods[lo])
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("capacity: period %v: %w", periods[lo], err)
+	}
+	return SweepPoint{Period: periods[lo], Valid: res.Valid, Total: res.TotalCapacity(), Result: res}, nil
 }

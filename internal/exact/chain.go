@@ -2,7 +2,7 @@ package exact
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"vrdfcap/internal/taskgraph"
 )
@@ -34,17 +34,6 @@ type chainState struct {
 	tasks []chainTask
 }
 
-func (cs *chainState) key() string {
-	var b strings.Builder
-	for i := range cs.d {
-		fmt.Fprintf(&b, "%d,%d;", cs.d[i], cs.s[i])
-	}
-	for _, t := range cs.tasks {
-		fmt.Fprintf(&b, "%d,%d,%v;", t.qin, t.qout, t.inFlight)
-	}
-	return b.String()
-}
-
 func (cs *chainState) clone() chainState {
 	n := chainState{
 		d:     append([]int64(nil), cs.d...),
@@ -54,32 +43,73 @@ func (cs *chainState) clone() chainState {
 	return n
 }
 
-// ChainDeadlockFree exhaustively checks a sized chain against every
-// sequence of coupled per-firing quanta choices. Every buffer must have a
-// positive capacity. The adversary commits a task's next (consumption,
-// production) quantum pair when its previous firing finishes — the coupled
-// information structure of real data-dependent tasks, where one frame
-// decides both what is read and what is written.
-//
-// The state space is the product of the buffer occupancies and task
-// commitments; a guard refuses graphs beyond ~2 million states.
-func ChainDeadlockFree(g *taskgraph.Graph, maxStates int) (bool, *ChainWitness, error) {
+// pick is one coupled (consumption, production) quantum choice of a task's
+// firing.
+type pick struct{ qin, qout int64 }
+
+// chainEdge records how the search reached a state, for witness
+// reconstruction.
+type chainEdge struct {
+	prevKey string
+	task    int
+	p       pick
+	hasPick bool
+	valid   bool
+}
+
+// ChainCertifier is a chain compiled for repeated deadlock-freedom checks
+// at different capacity assignments. CompileChain hoists everything that
+// does not depend on capacities — the chain decomposition, the coupled
+// per-task quanta choices and the state-count factors — and Certify reuses
+// the visited-state map, BFS queue and key-encoding buffer across calls, so
+// probing a capacity sweep rebuilds nothing. Not safe for concurrent use;
+// compile one certifier per goroutine.
+type ChainCertifier struct {
+	tasks     []*taskgraph.Task
+	buffers   []*taskgraph.Buffer
+	byName    map[string]int // buffer name (default and custom) → index
+	choices   [][]pick       // per task: admissible coupled choices
+	choiceEst float64        // product over tasks of 2·|choices|
+	maxStates int
+
+	// Reusable per-Certify search state.
+	caps   []int64
+	parent map[string]chainEdge
+	queue  []chainState
+	keyBuf []byte
+}
+
+// CompileChain validates that g is a chain and compiles it for repeated
+// certification. maxStates bounds each Certify's search (<= 0 selects the
+// default of 2 million states). Capacities are not inspected here — they
+// are resolved per Certify call, so an unsized graph can be compiled once
+// and certified under many assignments.
+func CompileChain(g *taskgraph.Graph, maxStates int) (*ChainCertifier, error) {
 	if maxStates <= 0 {
 		maxStates = 2_000_000
 	}
 	tasks, buffers, err := g.Chain()
 	if err != nil {
-		return false, nil, err
+		return nil, err
 	}
-	for _, b := range buffers {
-		if b.Capacity <= 0 {
-			return false, nil, fmt.Errorf("exact: buffer %s has no capacity", b.DefaultName())
+	c := &ChainCertifier{
+		tasks:     tasks,
+		buffers:   buffers,
+		byName:    make(map[string]int, 2*len(buffers)),
+		choices:   make([][]pick, len(tasks)),
+		choiceEst: 1,
+		maxStates: maxStates,
+		caps:      make([]int64, len(buffers)),
+		parent:    make(map[string]chainEdge),
+	}
+	for i, b := range buffers {
+		c.byName[b.DefaultName()] = i
+		if b.Name != "" {
+			c.byName[b.Name] = i
 		}
 	}
-	type pick struct{ qin, qout int64 }
 	// Per task: the admissible coupled choices (positive quanta only;
 	// zero-quantum firings cannot affect stuck-state reachability).
-	choices := make([][]pick, len(tasks))
 	for i := range tasks {
 		var ins, outs []int64
 		if i > 0 {
@@ -94,70 +124,112 @@ func ChainDeadlockFree(g *taskgraph.Graph, maxStates int) (bool, *ChainWitness, 
 		}
 		for _, qi := range ins {
 			for _, qo := range outs {
-				choices[i] = append(choices[i], pick{qi, qo})
+				c.choices[i] = append(c.choices[i], pick{qi, qo})
 			}
+		}
+		c.choiceEst *= float64(2 * len(c.choices[i]))
+	}
+	return c, nil
+}
+
+// stateKey encodes a state into the certifier's reusable buffer and
+// returns it as a map key.
+func (c *ChainCertifier) stateKey(cs *chainState) string {
+	b := c.keyBuf[:0]
+	for i := range cs.d {
+		b = strconv.AppendInt(b, cs.d[i], 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, cs.s[i], 10)
+		b = append(b, ';')
+	}
+	for _, t := range cs.tasks {
+		b = strconv.AppendInt(b, t.qin, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, t.qout, 10)
+		if t.inFlight {
+			b = append(b, ",1;"...)
+		} else {
+			b = append(b, ",0;"...)
+		}
+	}
+	c.keyBuf = b
+	return string(b)
+}
+
+// Certify exhaustively checks the compiled chain, sized by caps, against
+// every sequence of coupled per-firing quanta choices. caps overrides
+// buffer capacities by name (default or custom); buffers without an entry
+// use the capacity on the compiled graph. Every resolved capacity must be
+// positive.
+func (c *ChainCertifier) Certify(caps map[string]int64) (bool, *ChainWitness, error) {
+	for name := range caps {
+		if _, ok := c.byName[name]; !ok {
+			return false, nil, fmt.Errorf("exact: capacity override for unknown buffer %q", name)
+		}
+	}
+	for i, b := range c.buffers {
+		c.caps[i] = b.Capacity
+		if v, ok := caps[b.DefaultName()]; ok {
+			c.caps[i] = v
+		} else if b.Name != "" {
+			if v, ok := caps[b.Name]; ok {
+				c.caps[i] = v
+			}
+		}
+		if c.caps[i] <= 0 {
+			return false, nil, fmt.Errorf("exact: buffer %s has no capacity", b.DefaultName())
 		}
 	}
 
 	// Refuse obviously hopeless searches up front: the state count is
 	// bounded by the product of per-buffer occupancy counts and
 	// per-task commitment/phase counts.
-	est := 1.0
-	for _, b := range buffers {
-		est *= float64(b.Capacity+1) * float64(b.Capacity+2) / 2
+	est := c.choiceEst
+	for i := range c.buffers {
+		est *= float64(c.caps[i]+1) * float64(c.caps[i]+2) / 2
 	}
-	for i := range tasks {
-		est *= float64(2 * len(choices[i]))
-	}
-	if est > float64(maxStates) {
-		return false, nil, fmt.Errorf("exact: chain state space (~%.3g states) exceeds the %d-state guard; use the analytical bound for graphs this large", est, maxStates)
+	if est > float64(c.maxStates) {
+		return false, nil, fmt.Errorf("exact: chain state space (~%.3g states) exceeds the %d-state guard; use the analytical bound for graphs this large", est, c.maxStates)
 	}
 
-	type edge struct {
-		prevKey string
-		task    int
-		p       pick
-		hasPick bool
-		valid   bool
-	}
-	parent := make(map[string]edge)
-	var queue []chainState
-	push := func(next chainState, fromKey string, e edge) {
-		k := next.key()
+	clear(c.parent)
+	c.queue = c.queue[:0]
+	parent := c.parent
+	push := func(next chainState, fromKey string, e chainEdge) {
+		k := c.stateKey(&next)
 		if _, seen := parent[k]; seen {
 			return
 		}
 		e.prevKey = fromKey
 		e.valid = true
 		parent[k] = e
-		queue = append(queue, next)
+		c.queue = append(c.queue, next)
 	}
 	// Seed: every combination of initial commitments. To avoid an
 	// exponential seed set, commit tasks one at a time through synthetic
 	// intermediate states (qin = qout = -1 marks "uncommitted").
 	seed := chainState{
-		d:     make([]int64, len(buffers)),
-		s:     make([]int64, len(buffers)),
-		tasks: make([]chainTask, len(tasks)),
+		d:     make([]int64, len(c.buffers)),
+		s:     make([]int64, len(c.buffers)),
+		tasks: make([]chainTask, len(c.tasks)),
 	}
-	for i, b := range buffers {
-		seed.s[i] = b.Capacity
+	for i := range c.buffers {
+		seed.s[i] = c.caps[i]
 	}
 	for i := range seed.tasks {
 		seed.tasks[i] = chainTask{qin: -1, qout: -1}
 	}
 	rootKey := "root"
-	parent[rootKey] = edge{}
-	push(seed, rootKey, edge{})
+	parent[rootKey] = chainEdge{}
+	push(seed, rootKey, chainEdge{})
 
 	guard := 0
-	for len(queue) > 0 {
-		st := queue[0]
-		queue = queue[1:]
-		k := st.key()
+	for head := 0; head < len(c.queue); head++ {
+		st := c.queue[head]
+		k := c.stateKey(&st)
 		guard++
-		if guard > maxStates {
-			return false, nil, fmt.Errorf("exact: chain state space exceeds %d states", maxStates)
+		if guard > c.maxStates {
+			return false, nil, fmt.Errorf("exact: chain state space exceeds %d states", c.maxStates)
 		}
 
 		// If some task is uncommitted, branch its first commitment and
@@ -170,10 +242,10 @@ func ChainDeadlockFree(g *taskgraph.Graph, maxStates int) (bool, *ChainWitness, 
 			}
 		}
 		if uncommitted >= 0 {
-			for _, p := range choices[uncommitted] {
+			for _, p := range c.choices[uncommitted] {
 				next := st.clone()
 				next.tasks[uncommitted] = chainTask{qin: p.qin, qout: p.qout}
-				push(next, k, edge{task: uncommitted, p: p, hasPick: true})
+				push(next, k, chainEdge{task: uncommitted, p: p, hasPick: true})
 			}
 			continue
 		}
@@ -183,33 +255,33 @@ func ChainDeadlockFree(g *taskgraph.Graph, maxStates int) (bool, *ChainWitness, 
 			if !t.inFlight {
 				// Start: needs input data and output space.
 				okIn := i == 0 || st.d[i-1] >= t.qin
-				okOut := i == len(buffers) || st.s[i] >= t.qout
+				okOut := i == len(c.buffers) || st.s[i] >= t.qout
 				if okIn && okOut {
 					progress = true
 					next := st.clone()
 					if i > 0 {
 						next.d[i-1] -= t.qin
 					}
-					if i < len(buffers) {
+					if i < len(c.buffers) {
 						next.s[i] -= t.qout
 					}
 					next.tasks[i].inFlight = true
-					push(next, k, edge{})
+					push(next, k, chainEdge{})
 				}
 				continue
 			}
 			// Finish: produce data, release space, recommit.
 			progress = true
-			for _, p := range choices[i] {
+			for _, p := range c.choices[i] {
 				next := st.clone()
 				if i > 0 {
 					next.s[i-1] += t.qin
 				}
-				if i < len(buffers) {
+				if i < len(c.buffers) {
 					next.d[i] += t.qout
 				}
 				next.tasks[i] = chainTask{qin: p.qin, qout: p.qout}
-				push(next, k, edge{task: i, p: p, hasPick: true})
+				push(next, k, chainEdge{task: i, p: p, hasPick: true})
 			}
 		}
 
@@ -222,7 +294,7 @@ func ChainDeadlockFree(g *taskgraph.Graph, maxStates int) (bool, *ChainWitness, 
 					break
 				}
 				if e.hasPick {
-					name := tasks[e.task].Name
+					name := c.tasks[e.task].Name
 					if e.p.qin > 0 {
 						w.In[name] = append(w.In[name], e.p.qin)
 					}
@@ -242,4 +314,23 @@ func ChainDeadlockFree(g *taskgraph.Graph, maxStates int) (bool, *ChainWitness, 
 		}
 	}
 	return true, nil, nil
+}
+
+// ChainDeadlockFree exhaustively checks a sized chain against every
+// sequence of coupled per-firing quanta choices. Every buffer must have a
+// positive capacity. The adversary commits a task's next (consumption,
+// production) quantum pair when its previous firing finishes — the coupled
+// information structure of real data-dependent tasks, where one frame
+// decides both what is read and what is written.
+//
+// The state space is the product of the buffer occupancies and task
+// commitments; a guard refuses graphs beyond ~2 million states. Callers
+// probing many capacity assignments of one chain should CompileChain once
+// and Certify repeatedly instead.
+func ChainDeadlockFree(g *taskgraph.Graph, maxStates int) (bool, *ChainWitness, error) {
+	c, err := CompileChain(g, maxStates)
+	if err != nil {
+		return false, nil, err
+	}
+	return c.Certify(nil)
 }

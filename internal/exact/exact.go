@@ -51,68 +51,82 @@ type state struct {
 	p, c taskState
 }
 
-// DeadlockFree reports whether the pair with the given capacity is
-// deadlock-free under every quanta sequence, returning a witness otherwise.
-//
-// The adversary commits each firing's quantum when the previous firing of
-// that task finishes — before knowing whether it will ever become startable
-// — which is exactly the information structure of a fixed data-dependent
-// sequence. (An adversary that could re-choose at start time would be
-// weaker: it could escape deadlocks a fixed sequence runs into.) A state is
-// stuck when both tasks are idle and their committed quanta exceed the
-// available tokens. Zero-quantum firings transfer nothing and cannot
-// unstick the peer, so the adversary never needs them and they are omitted.
-func DeadlockFree(prod, cons taskgraph.QuantaSet, capacity int64) (bool, *Witness, error) {
+// pairEdge records how the search reached a state, for witness
+// reconstruction.
+type pairEdge struct {
+	prev     state
+	prodPick int64 // quantum committed for the producer (0 = none)
+	consPick int64 // quantum committed for the consumer (0 = none)
+	valid    bool
+}
+
+// pairSearcher holds the compiled inputs and reusable search state for
+// exploring one producer–consumer pair at several capacities. MinCapacity
+// walks capacities upward on a single searcher, so the visited-state map
+// and BFS queue are allocated once and recycled per capacity instead of
+// rebuilt per probe. Not safe for concurrent use.
+type pairSearcher struct {
+	prodVals []int64
+	consVals []int64
+	parent   map[state]pairEdge
+	queue    []state
+}
+
+// newPairSearcher validates the quanta sets and compiles them into a
+// reusable searcher.
+func newPairSearcher(prod, cons taskgraph.QuantaSet) (*pairSearcher, error) {
 	if !prod.IsValid() || !cons.IsValid() {
-		return false, nil, fmt.Errorf("exact: invalid quanta sets")
+		return nil, fmt.Errorf("exact: invalid quanta sets")
 	}
+	return &pairSearcher{
+		prodVals: positive(prod),
+		consVals: positive(cons),
+		parent:   make(map[state]pairEdge),
+	}, nil
+}
+
+// deadlockFree runs one untimed reachability search at the given capacity,
+// reusing the searcher's map and queue.
+func (ps *pairSearcher) deadlockFree(capacity int64) (bool, *Witness, error) {
 	if capacity <= 0 {
 		return false, nil, fmt.Errorf("exact: capacity must be positive, got %d", capacity)
 	}
-	prodVals := positive(prod)
-	consVals := positive(cons)
 	// The state space is O(capacity² · |P| · |C|); refuse blow-ups (the
 	// MP3 chain's first buffer would need ~10⁸ states — use the
 	// analytical bound there, that is what it is for).
-	est := (capacity + 1) * (capacity + 2) * 2 * int64(len(prodVals)) * int64(len(consVals))
+	est := (capacity + 1) * (capacity + 2) * 2 * int64(len(ps.prodVals)) * int64(len(ps.consVals))
 	if est > 20_000_000 {
 		return false, nil, fmt.Errorf("exact: ~%d states exceed the search guard; use the Equation-4 bound for pairs this large", est)
 	}
 
-	type edge struct {
-		prev     state
-		prodPick int64 // quantum committed for the producer (0 = none)
-		consPick int64 // quantum committed for the consumer (0 = none)
-		valid    bool
-	}
-	parent := make(map[state]edge)
-	var queue []state
-	push := func(next state, from state, e edge) {
+	clear(ps.parent)
+	ps.queue = ps.queue[:0]
+	parent := ps.parent
+	push := func(next state, from state, e pairEdge) {
 		if _, seen := parent[next]; seen {
 			return
 		}
 		e.prev = from
 		e.valid = true
 		parent[next] = e
-		queue = append(queue, next)
+		ps.queue = append(ps.queue, next)
 	}
 
 	// Initial states: the adversary commits the first quantum of each
 	// task. The synthetic root lets witness reconstruction terminate.
 	root := state{d: -1, s: -1}
-	parent[root] = edge{}
-	for _, qp := range prodVals {
-		for _, qc := range consVals {
+	parent[root] = pairEdge{}
+	for _, qp := range ps.prodVals {
+		for _, qc := range ps.consVals {
 			push(state{
 				d: 0, s: capacity,
 				p: taskState{q: qp}, c: taskState{q: qc},
-			}, root, edge{prodPick: qp, consPick: qc})
+			}, root, pairEdge{prodPick: qp, consPick: qc})
 		}
 	}
 
-	for len(queue) > 0 {
-		st := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(ps.queue); head++ {
+		st := ps.queue[head]
 
 		progress := false
 		// Producer start: its committed quantum fits in the space.
@@ -121,17 +135,17 @@ func DeadlockFree(prod, cons taskgraph.QuantaSet, capacity int64) (bool, *Witnes
 			next := st
 			next.s -= st.p.q
 			next.p.inFlight = true
-			push(next, st, edge{})
+			push(next, st, pairEdge{})
 		}
 		// Producer finish: data appears; adversary commits the next
 		// production quantum.
 		if st.p.inFlight {
 			progress = true
-			for _, qp := range prodVals {
+			for _, qp := range ps.prodVals {
 				next := st
 				next.d += st.p.q
 				next.p = taskState{q: qp}
-				push(next, st, edge{prodPick: qp})
+				push(next, st, pairEdge{prodPick: qp})
 			}
 		}
 		// Consumer start.
@@ -140,17 +154,17 @@ func DeadlockFree(prod, cons taskgraph.QuantaSet, capacity int64) (bool, *Witnes
 			next := st
 			next.d -= st.c.q
 			next.c.inFlight = true
-			push(next, st, edge{})
+			push(next, st, pairEdge{})
 		}
 		// Consumer finish: space returns; adversary commits the next
 		// consumption quantum.
 		if st.c.inFlight {
 			progress = true
-			for _, qc := range consVals {
+			for _, qc := range ps.consVals {
 				next := st
 				next.s += st.c.q
 				next.c = taskState{q: qc}
-				push(next, st, edge{consPick: qc})
+				push(next, st, pairEdge{consPick: qc})
 			}
 		}
 
@@ -179,13 +193,34 @@ func DeadlockFree(prod, cons taskgraph.QuantaSet, capacity int64) (bool, *Witnes
 	return true, nil, nil
 }
 
+// DeadlockFree reports whether the pair with the given capacity is
+// deadlock-free under every quanta sequence, returning a witness otherwise.
+//
+// The adversary commits each firing's quantum when the previous firing of
+// that task finishes — before knowing whether it will ever become startable
+// — which is exactly the information structure of a fixed data-dependent
+// sequence. (An adversary that could re-choose at start time would be
+// weaker: it could escape deadlocks a fixed sequence runs into.) A state is
+// stuck when both tasks are idle and their committed quanta exceed the
+// available tokens. Zero-quantum firings transfer nothing and cannot
+// unstick the peer, so the adversary never needs them and they are omitted.
+func DeadlockFree(prod, cons taskgraph.QuantaSet, capacity int64) (bool, *Witness, error) {
+	ps, err := newPairSearcher(prod, cons)
+	if err != nil {
+		return false, nil, err
+	}
+	return ps.deadlockFree(capacity)
+}
+
 // MinCapacity returns the exact minimum deadlock-free capacity of the pair,
 // searching upwards from the largest single transfer. The untimed limit of
 // Equation (4), π̂ + γ̂ − 1, is a guaranteed-sufficient upper bound, so the
-// search always terminates.
+// search always terminates. All capacities are probed on one compiled
+// searcher, reusing the visited-state map and queue across probes.
 func MinCapacity(prod, cons taskgraph.QuantaSet) (int64, error) {
-	if !prod.IsValid() || !cons.IsValid() {
-		return 0, fmt.Errorf("exact: invalid quanta sets")
+	ps, err := newPairSearcher(prod, cons)
+	if err != nil {
+		return 0, err
 	}
 	lo := prod.Max()
 	if c := cons.Max(); c > lo {
@@ -193,7 +228,7 @@ func MinCapacity(prod, cons taskgraph.QuantaSet) (int64, error) {
 	}
 	hi := prod.Max() + cons.Max() - 1
 	for z := lo; z <= hi; z++ {
-		ok, _, err := DeadlockFree(prod, cons, z)
+		ok, _, err := ps.deadlockFree(z)
 		if err != nil {
 			return 0, err
 		}

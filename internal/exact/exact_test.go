@@ -36,47 +36,52 @@ func TestFigure1ExactMinimum(t *testing.T) {
 
 func TestWitnessReplaysToDeadlockInSimulator(t *testing.T) {
 	// The adversarial witness found by the untimed search must reproduce
-	// the deadlock in the timed simulator — cross-validating both.
+	// the deadlock in the timed simulator — cross-validating both. All
+	// replays run on one compiled machine (the Replayer); only the
+	// witness sequences, stop condition and space tokens change per call.
 	prod := taskgraph.MustQuanta(3)
 	cons := taskgraph.MustQuanta(2, 3)
 	min, err := MinCapacity(prod, cons)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, w, err := DeadlockFree(prod, cons, min-1)
+	r, err := NewReplayer(prod, cons)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
-		t.Fatalf("capacity %d reported safe but %d is the minimum", min-1, min)
-	}
-	if w == nil || len(w.Cons) == 0 {
-		t.Fatalf("no witness returned: %+v", w)
-	}
-
-	g, err := taskgraph.Pair("wa", ratio.One, "wb", ratio.One, prod, cons)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g.Buffers()[0].Capacity = min - 1
-	// Extend the witness arbitrarily past the deadlock point; the
-	// deadlock must strike regardless of the continuation.
-	consSeq := quanta.Sticky(append(append([]int64{}, w.Cons...), cons.Max())...)
-	prodSeq := quanta.Sticky(append(append([]int64{}, w.Prod...), prod.Max())...)
-	cfg, _, err := sim.TaskGraphConfig(g, sim.Workloads{
-		"wa->wb": {Prod: prodSeq, Cons: consSeq},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg.Stop = sim.Stop{Actor: "wb", Firings: int64(len(w.Cons)) + 10}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Outcome != sim.Deadlocked {
-		t.Fatalf("witness did not deadlock the simulator: outcome %v after %d consumer firings",
-			res.Outcome, res.Finished["wb"])
+	// Every undersized capacity yields a witness, and each witness must
+	// deadlock the timed engine at its capacity — exercising the reused
+	// machine across several capacities and witness lengths.
+	for capn := min - 1; capn >= cons.Max(); capn-- {
+		ok, w, err := DeadlockFree(prod, cons, capn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("capacity %d reported safe but %d is the minimum", capn, min)
+		}
+		if w == nil || len(w.Cons) == 0 {
+			t.Fatalf("capacity %d: no witness returned: %+v", capn, w)
+		}
+		res, err := r.Replay(w, capn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != sim.Deadlocked {
+			t.Fatalf("capacity %d: witness did not deadlock the simulator: outcome %v after %d consumer firings",
+				capn, res.Outcome, res.Finished["wb"])
+		}
+		// The same adversarial sequence with one more container must
+		// not deadlock at the exact minimum: the witness is tight.
+		if capn == min-1 {
+			stuck, err := r.Deadlocks(w, min)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stuck {
+				t.Fatalf("the capacity-%d witness still deadlocks at the proven minimum %d", capn, min)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+package exact
+
+import (
+	"fmt"
+
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/sim"
+	"vrdfcap/internal/taskgraph"
+)
+
+// Replayer validates adversarial pair witnesses in the timed simulator on a
+// single compiled machine. The untimed search proves a deadlock exists;
+// replaying its witness cross-checks the two engines against each other.
+// One machine is compiled per quanta-set pair, and each Replay call swaps
+// in the witness sequences, repoints the stop condition and resets the
+// space tokens to the probed capacity — no per-replay rebuild. Not safe for
+// concurrent use.
+type Replayer struct {
+	m     *sim.Machine
+	space string // space-edge name carrying the capacity override
+
+	// prodFill/consFill extend a witness arbitrarily past the deadlock
+	// point: the deadlock must strike regardless of the continuation.
+	prodFill, consFill int64
+	prodVals, consVals []int64 // current witness, swapped per Replay
+}
+
+// seq reads the replayer's current witness slice, falling back to fill
+// beyond its end. Bound once at compile time; the slices swap per Replay.
+func replaySeq(vals *[]int64, fill *int64) quanta.Sequence {
+	return quanta.Func(func(k int64) int64 {
+		if v := *vals; k < int64(len(v)) {
+			return v[k]
+		}
+		return *fill
+	})
+}
+
+// NewReplayer compiles a timed producer–consumer pair ("wa" feeding "wb",
+// both with unit response time) for repeated witness replays.
+func NewReplayer(prod, cons taskgraph.QuantaSet) (*Replayer, error) {
+	if !prod.IsValid() || !cons.IsValid() {
+		return nil, fmt.Errorf("exact: invalid quanta sets")
+	}
+	g, err := taskgraph.Pair("wa", ratio.One, "wb", ratio.One, prod, cons)
+	if err != nil {
+		return nil, err
+	}
+	// Placeholder capacity; every Replay overrides the space tokens.
+	buffer := g.Buffers()[0]
+	buffer.Capacity = prod.Max() + cons.Max()
+	r := &Replayer{prodFill: prod.Max(), consFill: cons.Max()}
+	cfg, mapping, err := sim.TaskGraphConfig(g, sim.Workloads{
+		buffer.DefaultName(): {
+			Prod: replaySeq(&r.prodVals, &r.prodFill),
+			Cons: replaySeq(&r.consVals, &r.consFill),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pair, ok := mapping.Pair(buffer.DefaultName())
+	if !ok {
+		return nil, fmt.Errorf("exact: buffer %s has no edge pair", buffer.DefaultName())
+	}
+	r.space = pair.Space
+	cfg.Stop = sim.Stop{Actor: "wb", Firings: 1} // repointed per Replay
+	m, err := sim.Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.m = m
+	return r, nil
+}
+
+// Replay executes the witness against the given capacity and returns the
+// simulator's result; a true counterexample ends with Outcome Deadlocked.
+// The run continues a few firings past the witness (repeating each set's
+// maximum) so a deadlock cannot be masked by the stop condition.
+func (r *Replayer) Replay(w *Witness, capacity int64) (*sim.Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("exact: nil witness")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("exact: capacity must be positive, got %d", capacity)
+	}
+	r.prodVals = w.Prod
+	r.consVals = w.Cons
+	if err := r.m.SetStopFirings(int64(len(w.Cons)) + 10); err != nil {
+		return nil, err
+	}
+	if err := r.m.Reset(map[string]int64{r.space: capacity}); err != nil {
+		return nil, err
+	}
+	return r.m.Run()
+}
+
+// Deadlocks reports whether replaying the witness at the given capacity
+// drives the timed simulator into a deadlock.
+func (r *Replayer) Deadlocks(w *Witness, capacity int64) (bool, error) {
+	res, err := r.Replay(w, capacity)
+	if err != nil {
+		return false, err
+	}
+	return res.Outcome == sim.Deadlocked, nil
+}

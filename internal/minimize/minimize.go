@@ -29,6 +29,7 @@ import (
 
 	"vrdfcap/internal/budget"
 	"vrdfcap/internal/parallel"
+	"vrdfcap/internal/probecache"
 	"vrdfcap/internal/sim"
 	"vrdfcap/internal/taskgraph"
 )
@@ -54,8 +55,18 @@ type Options struct {
 	// every probe through the CheckFunc. The assignment found is
 	// identical either way (the cache only answers probes whose verdict
 	// monotonicity already determines); this exists for measurement and
-	// for checks that are deliberately non-monotone.
+	// for checks that are deliberately non-monotone. NoCache wins over
+	// Cache.
 	NoCache bool
+	// Cache, if non-nil, is a shared probecache.Frontier consulted and
+	// extended instead of the search-private cache. Sharing is sound only
+	// between searches over the same buffers and the same CheckFunc
+	// semantics — obtain one per problem fingerprint from a
+	// probecache.Store — and its buffer order must equal the search's
+	// buffer list. A warm frontier answers probes monotonicity already
+	// decides, so a repeated search can finish without simulating at all;
+	// the assignment found is identical either way.
+	Cache *probecache.Frontier
 	// Context, if non-nil, cancels checks and searches cooperatively; the
 	// typed error satisfies budget.ErrCanceled (and context.Canceled).
 	Context context.Context
@@ -282,9 +293,17 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 		cur[b] = u
 	}
 	var checks, cacheHits atomic.Int64
-	var cache *feasibilityCache
-	if !o.NoCache {
-		cache = newFeasibilityCache(buffers)
+	var cache *probecache.Frontier
+	switch {
+	case o.NoCache:
+		// Forced off: every probe simulates.
+	case o.Cache != nil:
+		if !o.Cache.SameKeys(buffers) {
+			return nil, fmt.Errorf("minimize: shared cache is over buffers %v, search is over %v", o.Cache.Keys(), buffers)
+		}
+		cache = o.Cache
+	default:
+		cache = probecache.NewFrontier(buffers)
 	}
 	// probe answers dominated assignments from the cache (monotonicity
 	// decides them without simulating) and records every simulated
@@ -296,7 +315,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 			return false, budget.Classify(err)
 		}
 		if cache != nil {
-			if feasible, hit := cache.lookup(caps); hit {
+			if feasible, hit := cache.Lookup(caps); hit {
 				cacheHits.Add(1)
 				return feasible, nil
 			}
@@ -307,7 +326,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 			return false, budget.Classify(err)
 		}
 		if cache != nil {
-			if err := cache.insert(caps, ok); err != nil {
+			if err := cache.Insert(caps, ok); err != nil {
 				return false, err
 			}
 		}

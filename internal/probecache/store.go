@@ -1,0 +1,332 @@
+package probecache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+// Version is the on-disk format version. A file carrying any other version
+// is ignored on load; Flush always writes the current version.
+const Version = 1
+
+var errNonPositivePeriod = errors.New("probecache: persisted period is not positive")
+
+// Store is a registry of cache entries keyed by canonical graph
+// fingerprints (GraphKey). A store with an empty directory lives purely in
+// memory; NewStore with a directory adds a versioned on-disk tier: Entry
+// warm-starts from `<dir>/<fingerprint>.json` when a trustworthy file
+// exists, and Flush persists every entry back. On-disk data is advisory —
+// a file that is unreadable, malformed, mis-versioned, mis-fingerprinted
+// or monotonically inconsistent is skipped without error, and the verdicts
+// recomputed in its place overwrite it on the next Flush.
+//
+// Safe for concurrent use.
+type Store struct {
+	dir     string
+	mu      sync.Mutex
+	entries map[string]*Entry
+	loaded  int // files absorbed from disk
+	skipped int // files present but untrusted
+}
+
+// NewStore returns a store; dir == "" disables the on-disk tier.
+func NewStore(dir string) *Store {
+	return &Store{dir: dir, entries: make(map[string]*Entry)}
+}
+
+var shared = NewStore("")
+
+// Shared returns the process-wide in-memory store. Sweeps default to it so
+// that repeated probes of the same graph within one process — for example
+// a SweepPeriods followed by a MinimalFeasiblePeriod binary search — share
+// verdicts without any caller plumbing.
+func Shared() *Store { return shared }
+
+// Dir returns the on-disk directory, or "" for a memory-only store.
+func (s *Store) Dir() string { return s.dir }
+
+// Entry returns the cache entry for a fingerprint, creating it (and, for
+// disk-backed stores, attempting a one-time load of its file) on first
+// use.
+func (s *Store) Entry(fingerprint string) *Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[fingerprint]; ok {
+		return e
+	}
+	e := &Entry{fp: fingerprint, periods: NewPeriods()}
+	if s.dir != "" {
+		s.load(e)
+	}
+	s.entries[fingerprint] = e
+	return e
+}
+
+// diskFile is the persisted form of one entry.
+type diskFile struct {
+	Version     int               `json:"version"`
+	Fingerprint string            `json:"fingerprint"`
+	Frontier    *frontierSnapshot `json:"frontier,omitempty"`
+	Periods     []periodRecord    `json:"periods,omitempty"`
+}
+
+// frontierSnapshot is the persisted form of a Frontier.
+type frontierSnapshot struct {
+	Buffers    []string  `json:"buffers"`
+	Feasible   [][]int64 `json:"feasible,omitempty"`
+	Infeasible [][]int64 `json:"infeasible,omitempty"`
+}
+
+func (s *Store) path(fingerprint string) string {
+	return filepath.Join(s.dir, fingerprint+".json")
+}
+
+// load absorbs the entry's file if one exists and is trustworthy. Called
+// with s.mu held, before the entry is published.
+func (s *Store) load(e *Entry) {
+	data, err := os.ReadFile(s.path(e.fp))
+	if err != nil {
+		return // no file (or unreadable): start cold
+	}
+	var f diskFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		s.skipped++
+		return
+	}
+	if f.Version != Version || f.Fingerprint != e.fp {
+		s.skipped++
+		return
+	}
+	if err := e.periods.absorb(f.Periods); err != nil {
+		// Partially absorbed verdicts are safe individually (each is an
+		// independent fact), but the file as a whole is untrusted: reset.
+		e.periods = NewPeriods()
+		s.skipped++
+		return
+	}
+	// The frontier snapshot needs the caller's buffer order to validate,
+	// so it stays pending until Entry.Frontier is first called.
+	e.pending = f.Frontier
+	s.loaded++
+}
+
+// Flush writes every entry with content back to the on-disk tier and
+// returns how many files it wrote. Memory-only stores flush nothing.
+// Writes are atomic (temp file + rename) so a crashed or concurrent flush
+// never leaves a torn file for the corruption-tolerant loader to trip on.
+func (s *Store) Flush() (written int, err error) {
+	if s.dir == "" {
+		return 0, nil
+	}
+	s.mu.Lock()
+	entries := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return 0, fmt.Errorf("probecache: create cache dir: %w", err)
+	}
+	for _, e := range entries {
+		f := e.file()
+		if f.Frontier == nil && len(f.Periods) == 0 {
+			continue
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return written, fmt.Errorf("probecache: encode %s: %w", e.fp, err)
+		}
+		tmp, err := os.CreateTemp(s.dir, e.fp+".tmp*")
+		if err != nil {
+			return written, fmt.Errorf("probecache: write %s: %w", e.fp, err)
+		}
+		_, werr := tmp.Write(append(data, '\n'))
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), s.path(e.fp))
+		}
+		if werr != nil {
+			_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error wins
+			return written, fmt.Errorf("probecache: write %s: %w", e.fp, werr)
+		}
+		written++
+	}
+	return written, nil
+}
+
+// StoreStats aggregates a store's cache effectiveness for reporting.
+type StoreStats struct {
+	Entries int   // distinct fingerprints touched
+	Loaded  int   // files warm-started from disk
+	Skipped int   // files present but untrusted (bad version, corrupt, ...)
+	Hits    int64 // lookups answered from cache across all entries
+	Misses  int64 // lookups that had to compute
+}
+
+// Stats returns the store's aggregate counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{Entries: len(s.entries), Loaded: s.loaded, Skipped: s.skipped}
+	for _, e := range s.entries {
+		e.mu.Lock()
+		if e.frontier != nil {
+			h, m := e.frontier.Counters()
+			st.Hits += h
+			st.Misses += m
+		}
+		h, m := e.periods.Counters()
+		st.Hits += h
+		st.Misses += m
+		e.mu.Unlock()
+	}
+	return st
+}
+
+// Entry bundles the caches for one fingerprinted problem: a capacity
+// frontier for minimization probes and a period-verdict cache for sweeps.
+type Entry struct {
+	fp       string
+	mu       sync.Mutex
+	pending  *frontierSnapshot // loaded from disk, not yet validated
+	frontier *Frontier
+	periods  *Periods
+}
+
+// Fingerprint returns the entry's key.
+func (e *Entry) Fingerprint() string { return e.fp }
+
+// Frontier returns the entry's capacity frontier over the given buffer
+// order, creating it on first use and absorbing any pending on-disk
+// snapshot that matches. All callers sharing an entry must agree on the
+// buffer order; a mismatch is an error because mixing projections would
+// corrupt the dominance test.
+func (e *Entry) Frontier(buffers []string) (*Frontier, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.frontier != nil {
+		if !e.frontier.SameKeys(buffers) {
+			return nil, fmt.Errorf("probecache: entry %s frontier is over buffers %v, caller wants %v",
+				e.fp, e.frontier.Keys(), buffers)
+		}
+		return e.frontier, nil
+	}
+	e.frontier = NewFrontier(buffers)
+	if e.pending != nil {
+		// Advisory on-disk data: absorb when consistent, drop wholesale
+		// otherwise — a partially contradictory snapshot is untrusted in
+		// full, so the half absorbed before the contradiction goes too.
+		if e.frontier.absorb(*e.pending) != nil {
+			e.frontier = NewFrontier(buffers)
+		}
+		e.pending = nil
+	}
+	return e.frontier, nil
+}
+
+// Periods returns the entry's period-verdict cache.
+func (e *Entry) Periods() *Periods {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.periods
+}
+
+// file snapshots the entry for persistence.
+func (e *Entry) file() diskFile {
+	e.mu.Lock()
+	frontier := e.frontier
+	pending := e.pending
+	periods := e.periods
+	e.mu.Unlock()
+	f := diskFile{Version: Version, Fingerprint: e.fp}
+	switch {
+	case frontier != nil:
+		s := frontier.snapshot()
+		if len(s.Feasible)+len(s.Infeasible) > 0 {
+			f.Frontier = &s
+		}
+	case pending != nil:
+		// Never materialised this run; keep the loaded snapshot as-is.
+		f.Frontier = pending
+	}
+	f.Periods = periods.snapshot()
+	sort.Slice(f.Periods, func(i, j int) bool {
+		a := ratio.MustNew(f.Periods[i].Num, f.Periods[i].Den)
+		b := ratio.MustNew(f.Periods[j].Num, f.Periods[j].Den)
+		return a.Less(b)
+	})
+	return f
+}
+
+// GraphKey returns the canonical fingerprint of a task graph plus any
+// caller-supplied parts that co-determine probe verdicts (constraint,
+// firing horizon, workload descriptors, policy, ...). Two calls agree
+// exactly when the graphs have identical tasks, buffers, quanta,
+// capacities and container sizes — independent of insertion order — and
+// the parts match. Quanta sequences and CheckFuncs are functions and
+// cannot be fingerprinted, so callers must fold a faithful textual
+// description of them into parts; omitting a distinguishing part conflates
+// distinct problems and poisons the shared cache.
+func GraphKey(g *taskgraph.Graph, parts ...string) string {
+	h := sha256.New()
+	buf := make([]byte, 0, 64)
+	field := func(s string) {
+		buf = append(buf[:0], s...)
+		buf = append(buf, 0)
+		h.Write(buf)
+	}
+	num := func(n int64) {
+		buf = strconv.AppendInt(buf[:0], n, 10)
+		buf = append(buf, 0)
+		h.Write(buf)
+	}
+	if g != nil {
+		tasks := append([]*taskgraph.Task(nil), g.Tasks()...)
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i].Name < tasks[j].Name })
+		for _, t := range tasks {
+			field("task")
+			field(t.Name)
+			num(t.WCRT.Num())
+			num(t.WCRT.Den())
+		}
+		buffers := append([]*taskgraph.Buffer(nil), g.Buffers()...)
+		sort.Slice(buffers, func(i, j int) bool { return buffers[i].DefaultName() < buffers[j].DefaultName() })
+		for _, b := range buffers {
+			field("buffer")
+			field(b.DefaultName())
+			field(b.Producer)
+			field(b.Consumer)
+			for _, v := range b.Prod.Values() {
+				num(v)
+			}
+			field("cons")
+			for _, v := range b.Cons.Values() {
+				num(v)
+			}
+			num(b.Capacity)
+			num(b.ContainerBytes)
+		}
+	}
+	for _, p := range parts {
+		field("part")
+		field(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,263 @@
+package probecache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/taskgraph"
+)
+
+func pairGraph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g, err := taskgraph.Pair("wa", r(1, 1), "wb", r(1, 1),
+		taskgraph.MustQuanta(3), taskgraph.MustQuanta(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphKeyDeterministicAndSensitive(t *testing.T) {
+	g := pairGraph(t)
+	key := GraphKey(g, "policy=equation4")
+	if key != GraphKey(g, "policy=equation4") {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	if key == GraphKey(g, "policy=baseline") {
+		t.Error("parts do not distinguish fingerprints")
+	}
+	if key == GraphKey(g.Clone()) {
+		t.Error("parts absent vs present collide")
+	}
+	if GraphKey(g) != GraphKey(g.Clone()) {
+		t.Error("clone changed the fingerprint")
+	}
+	// Any semantic edit must move the key.
+	mutated := g.Clone()
+	mutated.Tasks()[0].WCRT = r(2, 1)
+	if GraphKey(g) == GraphKey(mutated) {
+		t.Error("WCRT change kept the fingerprint")
+	}
+	sized := g.Clone()
+	sized.Buffers()[0].Capacity = 7
+	if GraphKey(g) == GraphKey(sized) {
+		t.Error("capacity change kept the fingerprint")
+	}
+	// Insertion order must not matter: same tasks/buffer added in another
+	// order fingerprints identically.
+	other := taskgraph.New()
+	if _, err := other.AddTask("wb", r(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.AddTask("wa", r(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.AddBuffer(taskgraph.Buffer{
+		Producer: "wa", Consumer: "wb",
+		Prod: taskgraph.MustQuanta(3), Cons: taskgraph.MustQuanta(2, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if GraphKey(g) != GraphKey(other) {
+		t.Error("task insertion order changed the fingerprint")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := pairGraph(t)
+	key := GraphKey(g, "test")
+
+	s := NewStore(dir)
+	e := s.Entry(key)
+	f, err := e.Frontier([]string{"wa->wb", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(map[string]int64{"wa->wb": 4, "x": 2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(map[string]int64{"wa->wb": 2, "x": 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	e.Periods().Insert(r(3, 1), Verdict{Valid: true, Total: 7})
+	e.Periods().Insert(r(1, 2), Verdict{Valid: false})
+	if n, err := s.Flush(); err != nil || n != 1 {
+		t.Fatalf("Flush = (%d, %v), want (1, nil)", n, err)
+	}
+
+	// A fresh store warm-starts from the file.
+	warm := NewStore(dir)
+	we := warm.Entry(key)
+	wf, err := we.Frontier([]string{"wa->wb", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feasible, hit := wf.Lookup(map[string]int64{"wa->wb": 9, "x": 9}); !hit || !feasible {
+		t.Errorf("warm frontier missed a dominated probe: (%v, %v)", feasible, hit)
+	}
+	if feasible, hit := wf.Lookup(map[string]int64{"wa->wb": 1, "x": 1}); !hit || feasible {
+		t.Errorf("warm frontier missed a dominated infeasible probe: (%v, %v)", feasible, hit)
+	}
+	if v, ok := we.Periods().Lookup(r(3, 1)); !ok || !v.Valid || v.Total != 7 {
+		t.Errorf("warm periods = (%+v, %v)", v, ok)
+	}
+	if st := warm.Stats(); st.Loaded != 1 || st.Skipped != 0 {
+		t.Errorf("stats = %+v, want one loaded file", st)
+	}
+
+	// Re-flushing a warm store keeps the file loadable and atomic writes
+	// leave no temp litter behind.
+	if _, err := warm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil || len(matches) != 0 {
+		t.Errorf("temp files left behind: %v (%v)", matches, err)
+	}
+}
+
+// corruptionCase writes a bad cache file and expects the loader to ignore
+// it and start cold — never to fail and never to trust it.
+func TestStoreIgnoresUntrustedFiles(t *testing.T) {
+	g := pairGraph(t)
+	key := GraphKey(g, "test")
+	buffers := []string{"wa->wb"}
+
+	write := func(t *testing.T, dir string, f diskFile) {
+		t.Helper()
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expectCold := func(t *testing.T, dir string) {
+		t.Helper()
+		s := NewStore(dir)
+		e := s.Entry(key)
+		f, err := e.Frontier(buffers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if feas, inf := f.Size(); feas+inf != 0 {
+			t.Errorf("untrusted file was absorbed: %d feasible, %d infeasible", feas, inf)
+		}
+		if n := e.Periods().Len(); n != 0 {
+			t.Errorf("untrusted periods absorbed: %d", n)
+		}
+	}
+
+	t.Run("garbage", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectCold(t, dir)
+		if st := NewStoreLoaded(t, dir, key, buffers); st.Skipped != 1 {
+			t.Errorf("skipped = %d, want 1", st.Skipped)
+		}
+	})
+	t.Run("version-mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, diskFile{Version: Version + 1, Fingerprint: key,
+			Periods: []periodRecord{{Num: 1, Den: 1, Valid: true}}})
+		expectCold(t, dir)
+	})
+	t.Run("fingerprint-mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, diskFile{Version: Version, Fingerprint: "deadbeef",
+			Periods: []periodRecord{{Num: 1, Den: 1, Valid: true}}})
+		expectCold(t, dir)
+	})
+	t.Run("non-positive-period", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, diskFile{Version: Version, Fingerprint: key,
+			Periods: []periodRecord{{Num: -1, Den: 1, Valid: true}}})
+		expectCold(t, dir)
+	})
+	t.Run("contradictory-frontier", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, diskFile{Version: Version, Fingerprint: key,
+			Frontier: &frontierSnapshot{
+				Buffers:    buffers,
+				Feasible:   [][]int64{{2}},
+				Infeasible: [][]int64{{3}}, // feasible 2 ≤ infeasible 3: impossible
+			}})
+		expectCold(t, dir)
+	})
+	t.Run("wrong-buffer-order", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, diskFile{Version: Version, Fingerprint: key,
+			Frontier: &frontierSnapshot{Buffers: []string{"other"}, Feasible: [][]int64{{2}}}})
+		expectCold(t, dir)
+	})
+}
+
+// NewStoreLoaded opens a store, touches the entry and returns the stats;
+// helper for asserting skip counters.
+func NewStoreLoaded(t *testing.T, dir, key string, buffers []string) StoreStats {
+	t.Helper()
+	s := NewStore(dir)
+	e := s.Entry(key)
+	if _, err := e.Frontier(buffers); err != nil {
+		t.Fatal(err)
+	}
+	return s.Stats()
+}
+
+func TestEntryFrontierOrderMismatch(t *testing.T) {
+	s := NewStore("")
+	e := s.Entry("k")
+	if _, err := e.Frontier([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Frontier([]string{"b", "a"}); err == nil {
+		t.Error("conflicting buffer order accepted")
+	}
+	if _, err := e.Frontier([]string{"a", "b"}); err != nil {
+		t.Errorf("matching order rejected: %v", err)
+	}
+}
+
+func TestMemoryStoreFlushIsNoOp(t *testing.T) {
+	s := NewStore("")
+	e := s.Entry("k")
+	e.Periods().Insert(ratio.One, Verdict{Valid: true})
+	if n, err := s.Flush(); err != nil || n != 0 {
+		t.Errorf("Flush on memory store = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestSharedStoreIsSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Error("Shared returned distinct stores")
+	}
+	if Shared().Dir() != "" {
+		t.Error("shared store must be memory-only")
+	}
+}
+
+func TestFlushSkipsEmptyEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	s.Entry("empty")
+	if n, err := s.Flush(); err != nil || n != 0 {
+		t.Errorf("Flush wrote %d files (%v), want 0", n, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), ".json") {
+			t.Errorf("empty entry persisted: %s", de.Name())
+		}
+	}
+}

@@ -737,6 +737,18 @@ func (m *Machine) SetPeriodicOffsetTicks(actor string, ticks int64) error {
 	return nil
 }
 
+// SetStopFirings repoints the completion firing count of the machine's stop
+// actor. It takes effect at the next Run; Reset does not revert it. The
+// exact-witness replayer uses this to replay differently sized witnesses on
+// one compiled machine.
+func (m *Machine) SetStopFirings(firings int64) error {
+	if firings <= 0 {
+		return fmt.Errorf("sim: SetStopFirings: firings must be positive, got %d", firings)
+	}
+	m.cfg.Stop.Firings = firings
+	return nil
+}
+
 func (m *Machine) push(ev event) {
 	ev.seq = m.seq
 	m.seq++
