@@ -244,8 +244,11 @@ func BenchmarkSection5MP3SimVerify(b *testing.B) {
 // BenchmarkSection5MP3Minimize measures the empirical capacity search on the
 // §5 MP3 chain — the heaviest minimisation in the repo: each probe simulates
 // 2205 DAC firings (50 ms of audio) through both verification phases. The
-// probes_sim/probes_cached metrics record how much of the coordinate descent
-// the monotone feasibility cache answers without simulating.
+// probes_sim/probes_cached/probes_bound metrics record how much of the
+// coordinate descent the monotone feasibility cache and the analytic α̂/α̌
+// bounds answer without simulating; sim_events and events_per_probe record
+// the residual simulation effort after checkpointed warm starts replay the
+// shared probe prefixes (neither counts replayed events).
 func BenchmarkSection5MP3Minimize(b *testing.B) {
 	g := mp3Graph(b)
 	c := mp3.Constraint()
@@ -253,24 +256,34 @@ func BenchmarkSection5MP3Minimize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	sufficient, necessary, err := capacity.SearchBounds(res, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bnds := &minimize.Bounds{Sufficient: sufficient, Necessary: necessary}
 	names := mp3.BufferNames()
 	upper := make(map[string]int64, len(names))
 	for _, n := range names {
 		upper[n] = res.BufferByName(n).Capacity
 	}
 	w := []sim.Workloads{{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), 2008)}}}
-	var total int64
-	var probes, cached int
+	var total, simEvents, resumed int64
+	var probes, cached, bound int
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		check := minimize.ThroughputCheck(g, c, 2205, w)
-		mres, err := minimize.Search(names[:], upper, check)
+		stats := &minimize.ProbeStats{}
+		opts := minimize.Options{Checkpoints: 8, Bounds: bnds, Stats: stats}
+		check := minimize.ThroughputCheck(g, c, 2205, w, opts)
+		mres, err := minimize.Search(names[:], upper, check, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
 		total = mres.Total()
 		probes = mres.Checks
 		cached = mres.CacheHits
+		bound = mres.BoundHits
+		simEvents = stats.SimEvents.Load()
+		resumed = stats.ResumedEvents.Load()
 	}
 	if total >= res.TotalCapacity() {
 		b.Fatalf("empirical minimum %d not below the analytic sizing %d", total, res.TotalCapacity())
@@ -278,6 +291,12 @@ func BenchmarkSection5MP3Minimize(b *testing.B) {
 	b.ReportMetric(float64(total), "min_total_capacity")
 	b.ReportMetric(float64(probes), "probes_sim")
 	b.ReportMetric(float64(cached), "probes_cached")
+	b.ReportMetric(float64(bound), "probes_bound")
+	b.ReportMetric(float64(simEvents), "sim_events")
+	b.ReportMetric(float64(resumed), "resumed_events")
+	if probes > 0 {
+		b.ReportMetric(float64(simEvents)/float64(probes), "events_per_probe")
+	}
 }
 
 // BenchmarkSection5MP3MinimizeWarm reruns the §5 minimisation against a

@@ -7,7 +7,11 @@
 //     (default 10) over the baseline's allocs_per_op;
 //   - probes_sim may not increase at all — a probe answered by the
 //     feasibility cache that starts simulating again is a correctness-class
-//     regression of the caching layer, not noise.
+//     regression of the caching layer, not noise;
+//   - events_per_probe may not increase at all — the simulated events a
+//     probe costs are deterministic for a fixed seed, so any growth means
+//     warm starts stopped resuming or the bound pruning stopped deciding,
+//     a regression of the warm-start layer rather than noise.
 //
 // Both metrics are hardware-independent, so the gate is meaningful on any
 // CI runner; ns/op and B/op are reported but never gated. The best (minimum)
@@ -43,17 +47,19 @@ func main() {
 // sample is the best observed values of one benchmark across all parsed
 // runs. Absent metrics are negative.
 type sample struct {
-	nsPerOp   float64
-	allocsOp  int64
-	probesSim float64
-	seen      int
+	nsPerOp        float64
+	allocsOp       int64
+	probesSim      float64
+	eventsPerProbe float64
+	seen           int
 }
 
 // baselineEntry is the subset of a BENCH_sim.json benchmark record the gate
 // reads. Absent fields decode to the negative sentinels.
 type baselineEntry struct {
-	AllocsPerOp int64    `json:"allocs_per_op"`
-	ProbesSim   *float64 `json:"probes_sim"`
+	AllocsPerOp    int64    `json:"allocs_per_op"`
+	ProbesSim      *float64 `json:"probes_sim"`
+	EventsPerProbe *float64 `json:"events_per_probe"`
 }
 
 type baselineFile struct {
@@ -135,9 +141,17 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 			failures = append(failures, fmt.Sprintf("%s: probes_sim %g exceeds baseline %g (any increase fails)",
 				name, s.probesSim, *b.ProbesSim))
 		}
+		if b.EventsPerProbe != nil && s.eventsPerProbe >= 0 && s.eventsPerProbe > *b.EventsPerProbe {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: events_per_probe %g exceeds baseline %g (any increase fails)",
+				name, s.eventsPerProbe, *b.EventsPerProbe))
+		}
 		fmt.Fprintf(out, "%-40s %s  allocs/op %d (baseline %d)", name, status, s.allocsOp, b.AllocsPerOp)
 		if b.ProbesSim != nil {
 			fmt.Fprintf(out, "  probes_sim %g (baseline %g)", s.probesSim, *b.ProbesSim)
+		}
+		if b.EventsPerProbe != nil {
+			fmt.Fprintf(out, "  events_per_probe %g (baseline %g)", s.eventsPerProbe, *b.EventsPerProbe)
 		}
 		fmt.Fprintf(out, "  [%d sample(s), best ns/op %.0f]\n", s.seen, s.nsPerOp)
 	}
@@ -178,7 +192,7 @@ func parseBench(r io.Reader) (map[string]*sample, error) {
 		}
 		s, ok := out[name]
 		if !ok {
-			s = &sample{nsPerOp: -1, allocsOp: -1, probesSim: -1}
+			s = &sample{nsPerOp: -1, allocsOp: -1, probesSim: -1, eventsPerProbe: -1}
 			out[name] = s
 		}
 		s.seen++
@@ -199,6 +213,10 @@ func parseBench(r io.Reader) (map[string]*sample, error) {
 			case "probes_sim":
 				if s.probesSim < 0 || v < s.probesSim {
 					s.probesSim = v
+				}
+			case "events_per_probe":
+				if s.eventsPerProbe < 0 || v < s.eventsPerProbe {
+					s.eventsPerProbe = v
 				}
 			}
 		}

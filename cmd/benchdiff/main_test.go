@@ -14,6 +14,12 @@ const testBaseline = `{
   }
 }`
 
+const eventsBaseline = `{
+  "benchmarks": {
+    "BenchmarkMinimize": {"allocs_per_op": 1000, "probes_sim": 27, "events_per_probe": 6646}
+  }
+}`
+
 func writeBaseline(t *testing.T, content string) string {
 	t.Helper()
 	p := filepath.Join(t.TempDir(), "baseline.json")
@@ -81,6 +87,28 @@ BenchmarkReusedMachineRun-8   	20000	52000 ns/op	48 B/op	1 allocs/op
 	_, err := runDiff(t, base, input)
 	if err == nil || !strings.Contains(err.Error(), "probes_sim 13 exceeds baseline 12") {
 		t.Fatalf("expected probes_sim failure, got %v", err)
+	}
+}
+
+func TestAnyEventsPerProbeIncreaseFails(t *testing.T) {
+	base := writeBaseline(t, eventsBaseline)
+	// Probes fine, but each simulated probe got costlier: a warm-start or
+	// bound-pruning regression, gated with zero tolerance.
+	input := `
+BenchmarkMinimize-8   	1	9000000 ns/op	900000 B/op	1000 allocs/op	27.00 probes_sim	6950.00 events_per_probe
+`
+	_, err := runDiff(t, base, input)
+	if err == nil || !strings.Contains(err.Error(), "events_per_probe 6950 exceeds baseline 6646") {
+		t.Fatalf("expected events_per_probe failure, got %v", err)
+	}
+	// The best sample across noisy -count runs is what gates: one sample at
+	// the baseline passes even next to a worse one.
+	input = `
+BenchmarkMinimize-8   	1	9000000 ns/op	900000 B/op	1000 allocs/op	27.00 probes_sim	6950.00 events_per_probe
+BenchmarkMinimize-8   	1	9000000 ns/op	900000 B/op	1000 allocs/op	27.00 probes_sim	6646.00 events_per_probe
+`
+	if out, err := runDiff(t, base, input); err != nil {
+		t.Fatalf("baseline-equal best sample must pass: %v\n%s", err, out)
 	}
 }
 

@@ -45,6 +45,7 @@ func run(args []string, out io.Writer) error {
 	skipVerify := fs.Bool("skip-verify", false, "skip the simulation-based verification")
 	minimizeFlag := fs.Bool("minimize", false, "additionally search the empirically minimal capacities for the VBR workload")
 	minimizeFirings := fs.Int64("minimize-firings", 2205, "DAC firings per minimization probe (default: 50 ms of audio)")
+	checkpointsN := fs.Int("checkpoints", 8, "checkpoints retained per probe machine for warm-started -minimize probes (0 = cold resets only)")
 	parallelN := fs.Int("parallel", 0, "worker goroutines for the verification workloads (0 = GOMAXPROCS, 1 = serial)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the simulation-backed steps (0 = unlimited)")
 	maxEvents := fs.Int64("max-events", 0, "cap simulated events per run (0 = engine default)")
@@ -167,9 +168,21 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The Equation-4 analysis prunes probes before any simulation: its
+		// capacities are sufficient for every admissible stream (so also for
+		// this one) and the liveness thresholds — the CD block, the MP3
+		// frame, the converter's output block — are necessary at any horizon.
+		sufficient, necessary, err := capacity.SearchBounds(res, g)
+		if err != nil {
+			return err
+		}
+		mstats := &minimize.ProbeStats{}
 		mopts := minimize.Options{
 			Workers: *parallelN, MaxEvents: *maxEvents, Deadline: deadline,
 			Cache: frontier, NoCache: cacheFlags.Disable,
+			Checkpoints: *checkpointsN,
+			Bounds:      &minimize.Bounds{Sufficient: sufficient, Necessary: necessary},
+			Stats:       mstats,
 		}
 		check := minimize.ThroughputCheck(g, c, *minimizeFirings,
 			[]sim.Workloads{{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), *seed)}}}, mopts)
@@ -178,14 +191,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		stats.Probes += int64(mres.Checks)
-		stats.CacheHits += int64(mres.CacheHits)
-		fmt.Fprintf(out, "\nempirically minimal capacities for the uniform VBR stream (%d DAC firings per probe; %d probes simulated, %d answered by the feasibility cache):\n",
-			*minimizeFirings, mres.Checks, mres.CacheHits)
+		stats.CacheHits += int64(mres.CacheHits + mres.BoundHits)
+		stats.Events += mstats.SimEvents.Load()
+		fmt.Fprintf(out, "\nempirically minimal capacities for the uniform VBR stream (%d DAC firings per probe; %d probes simulated, %d answered by the feasibility cache, %d decided by analytic bounds):\n",
+			*minimizeFirings, mres.Checks, mres.CacheHits, mres.BoundHits)
 		for i, n := range names {
 			fmt.Fprintf(out, "  d%d %-10s eq(4) %6d  minimal %6d\n", i+1, n, upper[n], mres.Caps[n])
 		}
 		fmt.Fprintf(out, "  totals: eq(4)=%d, minimal=%d (lower bound for this stream; eq(4) covers every admissible stream)\n",
 			res.TotalCapacity(), mres.Total())
+		fmt.Fprintf(out, "  probe effort: %d events simulated, %d replayed from checkpoints (%d warm resets, %d cold)\n",
+			mstats.SimEvents.Load(), mstats.ResumedEvents.Load(),
+			mstats.WarmResets.Load(), mstats.ColdResets.Load())
 		return nil
 	}
 	// runDegradation sweeps overrun factors at the Equation 4 capacities:

@@ -25,6 +25,8 @@
 //	-exact         exhaustive deadlock-freedom certificate (small graphs)
 //	-minimize      search the empirically minimal capacities by simulation
 //	-minimize-firings n  firings per minimization probe (0 = use -firings)
+//	-checkpoints n checkpoints retained per probe machine for warm starts
+//	               during -minimize (0 disables warm-starting; default 8)
 //	-parallel n    worker goroutines for the sweep (0 = GOMAXPROCS)
 //	-timeout d     wall-clock budget for simulation-backed steps (0 = none)
 //	-max-events n  cap simulated events per run (0 = engine default)
@@ -77,6 +79,7 @@ func run(args []string, out io.Writer) error {
 	exactFlag := fs.Bool("exact", false, "certify the sizing deadlock-free by exhaustive adversarial search (small graphs)")
 	minimizeFlag := fs.Bool("minimize", false, "search the empirically minimal capacities that still satisfy the constraint (simulation-based)")
 	minimizeFirings := fs.Int64("minimize-firings", 0, "firings of the constrained task per minimization probe (0 = use -firings)")
+	checkpointsN := fs.Int("checkpoints", 8, "checkpoints retained per probe machine for warm-started -minimize probes (0 = cold resets only)")
 	parallelN := fs.Int("parallel", 0, "worker goroutines for the period sweep (0 = GOMAXPROCS, 1 = serial)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for simulation-backed steps (0 = unlimited)")
 	maxEvents := fs.Int64("max-events", 0, "cap simulated events per run (0 = engine default)")
@@ -250,9 +253,21 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
+			// The analytic result prunes probes the simulator need not run:
+			// its capacities are sufficient for every admissible workload
+			// (so also for this one), and the liveness thresholds are
+			// necessary for any horizon.
+			sufficient, necessary, err := capacity.SearchBounds(res, g)
+			if err != nil {
+				return err
+			}
+			mstats := &minimize.ProbeStats{}
 			mopts := minimize.Options{
 				Workers: *parallelN, MaxEvents: *maxEvents, Deadline: deadline,
 				Cache: frontier, NoCache: cacheFlags.Disable,
+				Checkpoints: *checkpointsN,
+				Bounds:      &minimize.Bounds{Sufficient: sufficient, Necessary: necessary},
+				Stats:       mstats,
 			}
 			check := minimize.ThroughputCheck(g, *c, probeFirings,
 				[]sim.Workloads{vrdfcap.UniformWorkloads(sized, *seed)}, mopts)
@@ -261,14 +276,18 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			stats.Probes += int64(mres.Checks)
-			stats.CacheHits += int64(mres.CacheHits)
-			fmt.Fprintf(out, "\nempirically minimal capacities for this workload (%d firings per probe; %d probes simulated, %d answered by the feasibility cache):\n",
-				probeFirings, mres.Checks, mres.CacheHits)
+			stats.CacheHits += int64(mres.CacheHits + mres.BoundHits)
+			stats.Events += mstats.SimEvents.Load()
+			fmt.Fprintf(out, "\nempirically minimal capacities for this workload (%d firings per probe; %d probes simulated, %d answered by the feasibility cache, %d decided by analytic bounds):\n",
+				probeFirings, mres.Checks, mres.CacheHits, mres.BoundHits)
 			for _, b := range buffers {
 				fmt.Fprintf(out, "  %-12s analytic %6d  minimal %6d\n", b, upper[b], mres.Caps[b])
 			}
 			fmt.Fprintf(out, "  totals: analytic=%d, minimal=%d (a lower bound for this workload; the analytic sizing covers every admissible workload)\n",
 				res.TotalCapacity(), mres.Total())
+			fmt.Fprintf(out, "  probe effort: %d events simulated, %d replayed from checkpoints (%d warm resets, %d cold)\n",
+				mstats.SimEvents.Load(), mstats.ResumedEvents.Load(),
+				mstats.WarmResets.Load(), mstats.ColdResets.Load())
 		}
 	}
 	if *degradationStr != "" {

@@ -198,6 +198,9 @@ func TestRunMinimize(t *testing.T) {
 	wants := []string{
 		"empirically minimal capacities for this workload",
 		"answered by the feasibility cache",
+		"decided by analytic bounds",
+		"probe effort:",
+		"replayed from checkpoints",
 		"totals: analytic=10161",
 		"cache_hits=",
 	}
@@ -205,6 +208,20 @@ func TestRunMinimize(t *testing.T) {
 		if !strings.Contains(text, w) {
 			t.Errorf("output missing %q:\n%s", w, text)
 		}
+	}
+}
+
+// TestRunMinimizeColdCheckpoints pins the -checkpoints 0 escape hatch: warm
+// starts off, the search still runs and finds the same kind of report.
+func TestRunMinimizeColdCheckpoints(t *testing.T) {
+	path := writeMP3JSON(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-minimize", "-firings", "441", "-checkpoints", "0", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "0 replayed from checkpoints (0 warm resets") {
+		t.Errorf("-checkpoints 0 still warm-started:\n%s", text)
 	}
 }
 

@@ -1,0 +1,85 @@
+package capacity
+
+import (
+	"vrdfcap/internal/taskgraph"
+)
+
+// SearchBounds derives the conservative α̂/α̌ bounds a capacity search can
+// use to decide probes without simulating (minimize.Bounds).
+//
+// The sufficient direction is the analysis itself: when the result is Valid,
+// its per-buffer capacities come with the paper's throughput guarantee, so
+// any assignment dominating them pointwise is feasible (monotonicity,
+// Definition 1). An invalid result yields no sufficient map.
+//
+// The necessary direction comes from liveness at horizon one — reasoning
+// that holds for any stop condition of at least one constrained-task firing:
+//
+//   - A producer's first firing needs space for its smallest production
+//     quantum, and all of a buffer's capacity starts as space (data edges
+//     start empty, §3.1). With capacity below π̌(b) the producer can never
+//     fire.
+//   - A consumer's firing needs tokens for its smallest consumption
+//     quantum, and the data edge can never hold more than the capacity.
+//     With capacity below γ̌(b) the consumer can never fire.
+//
+// Each rule applies only when the blocked task provably must fire for the
+// constrained task to make progress. Sink-constrained, the sink's demand
+// propagates upstream through buffer i exactly when every buffer k ≥ i
+// downstream consumes a strictly positive minimum quantum — a γ̌ = 0 link
+// lets the downstream side fire forever on empty buffers, so nothing
+// upstream of it is forced. Source-constrained, only the source is forced,
+// so only its output buffer's π̌ applies. Thresholds of 1 are omitted
+// (capacities are positive already).
+func SearchBounds(res *Result, g *taskgraph.Graph) (sufficient, necessary map[string]int64, err error) {
+	_, buffers, err := g.Chain()
+	if err != nil {
+		return nil, nil, err
+	}
+	if res != nil && res.Valid {
+		sufficient = make(map[string]int64, len(res.Buffers))
+		for i := range res.Buffers {
+			sufficient[res.Buffers[i].Buffer] = res.Buffers[i].Capacity
+		}
+	}
+	if len(buffers) == 0 {
+		return sufficient, nil, nil
+	}
+	sourceConstrained := res != nil && res.Direction == SourceConstrained
+	necessary = make(map[string]int64)
+	if sourceConstrained {
+		if min := buffers[0].Prod.Min(); min > 1 {
+			necessary[buffers[0].DefaultName()] = min
+		}
+		if len(necessary) == 0 {
+			necessary = nil
+		}
+		return sufficient, necessary, nil
+	}
+	// allPos[i]: every buffer from i to the sink has γ̌ > 0, i.e. the
+	// sink's demand forces the producer of buffer i to fire.
+	allPos := make([]bool, len(buffers))
+	pos := true
+	for i := len(buffers) - 1; i >= 0; i-- {
+		pos = pos && buffers[i].Cons.Min() > 0
+		allPos[i] = pos
+	}
+	for i, b := range buffers {
+		var min int64
+		if allPos[i] {
+			min = b.Prod.Min()
+		}
+		if i == len(buffers)-1 || allPos[i+1] {
+			if c := b.Cons.Min(); c > min {
+				min = c
+			}
+		}
+		if min > 1 {
+			necessary[b.DefaultName()] = min
+		}
+	}
+	if len(necessary) == 0 {
+		necessary = nil
+	}
+	return sufficient, necessary, nil
+}

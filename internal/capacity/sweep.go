@@ -166,13 +166,23 @@ func MinimalFeasiblePeriodOpt(g *taskgraph.Graph, task string, periods []ratio.R
 	if len(periods) == 0 {
 		return SweepPoint{}, fmt.Errorf("capacity: empty period sweep")
 	}
+	// Sort and dedupe into a copy: duplicate candidates would skew the
+	// binary-search midpoints (wasting probes re-deciding the same period)
+	// without changing the answer, and the caller's slice is never mutated.
 	less := func(i, j int) bool { return periods[i].Less(periods[j]) }
+	sorted := make([]ratio.Rat, len(periods))
+	copy(sorted, periods)
+	periods = sorted
 	if !sort.SliceIsSorted(periods, less) {
-		sorted := make([]ratio.Rat, len(periods))
-		copy(sorted, periods)
-		periods = sorted
 		sort.Slice(periods, less)
 	}
+	uniq := periods[:1]
+	for _, tau := range periods[1:] {
+		if !tau.Equal(uniq[len(uniq)-1]) {
+			uniq = append(uniq, tau)
+		}
+	}
+	periods = uniq
 	a, err := CompileAnalysis(g, task, p)
 	if err != nil {
 		return SweepPoint{}, err
@@ -186,8 +196,10 @@ func MinimalFeasiblePeriodOpt(g *taskgraph.Graph, task string, periods []ratio.R
 		}
 		tau := periods[i]
 		if cache != nil {
-			if valid, hit := cache.LookupValid(tau); hit {
-				return valid, nil
+			// Probe combines the exact and dominance lookups under one
+			// counter update, so hits + misses equals the probe count.
+			if v, _, hit := cache.Probe(tau); hit {
+				return v.Valid, nil
 			}
 		}
 		res, err := a.At(tau)

@@ -87,10 +87,11 @@ func (r *Replayer) Replay(w *Witness, capacity int64) (*sim.Result, error) {
 	}
 	r.prodVals = w.Prod
 	r.consVals = w.Cons
-	if err := r.m.SetStopFirings(int64(len(w.Cons)) + 10); err != nil {
+	// Reset reverts knob overrides, so it must run before SetStopFirings.
+	if err := r.m.Reset(map[string]int64{r.space: capacity}); err != nil {
 		return nil, err
 	}
-	if err := r.m.Reset(map[string]int64{r.space: capacity}); err != nil {
+	if err := r.m.SetStopFirings(int64(len(w.Cons)) + 10); err != nil {
 		return nil, err
 	}
 	return r.m.Run()

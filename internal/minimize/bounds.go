@@ -1,0 +1,53 @@
+package minimize
+
+// Bounds carries conservative linear feasibility bounds for a search, in the
+// spirit of the paper's α̂/α̌ bounding argument (§4): the analysis' sufficient
+// capacities α̂ guarantee feasibility for any pointwise-larger assignment,
+// and per-buffer necessary minima α̌ (capacities below which even the most
+// favourable token production cannot satisfy a single firing) guarantee
+// infeasibility below them. Both directions are sound for every probe by the
+// monotonicity of VRDF execution (Definition 1), so a probe the bounds
+// decide never needs to simulate.
+//
+// capacity.SearchBounds derives both maps from an analysis result; a
+// zero-value Bounds decides nothing.
+type Bounds struct {
+	// Sufficient is a complete assignment known feasible (typically the
+	// analysis' Equation-4 capacities). Any probe over exactly these
+	// buffers that dominates it pointwise is feasible. Nil disables the
+	// sufficient direction.
+	Sufficient map[string]int64
+	// Necessary maps a buffer to a capacity strictly below which no
+	// assignment is feasible, regardless of the other buffers. A probe
+	// with caps[b] < Necessary[b] for any b is infeasible. Nil disables
+	// the necessary direction.
+	Necessary map[string]int64
+}
+
+// Decide reports whether the bounds determine the probe's verdict without
+// simulation. decided is false when neither direction applies; feasible is
+// meaningful only when decided is true.
+func (b *Bounds) Decide(caps map[string]int64) (feasible, decided bool) {
+	if b == nil {
+		return false, false
+	}
+	for name, min := range b.Necessary {
+		if c, ok := caps[name]; ok && c < min {
+			return false, true
+		}
+	}
+	if len(b.Sufficient) > 0 && len(b.Sufficient) == len(caps) {
+		dominates := true
+		for name, suf := range b.Sufficient {
+			c, ok := caps[name]
+			if !ok || c < suf {
+				dominates = false
+				break
+			}
+		}
+		if dominates {
+			return true, true
+		}
+	}
+	return false, false
+}

@@ -67,6 +67,23 @@ type Options struct {
 	// decides, so a repeated search can finish without simulating at all;
 	// the assignment found is identical either way.
 	Cache *probecache.Frontier
+	// Checkpoints is the number of run snapshots each probe machine
+	// retains for warm-starting (sim.Config.Checkpoints). With it set,
+	// consecutive probes that change one capacity resume simulation from
+	// the latest checkpoint the change cannot affect instead of replaying
+	// from t=0. 0 disables warm starts; the verdicts and the assignment
+	// found are bit-identical either way.
+	Checkpoints int
+	// Bounds, if non-nil, decides probes by the conservative linear α̂/α̌
+	// bounds before consulting the cache or simulating. Bound-decided
+	// verdicts are recorded in the cache (keeping the monotone frontier
+	// consistent) and counted in Result.BoundHits. Unsound bounds are
+	// surfaced as cache-contradiction or monotonicity errors.
+	Bounds *Bounds
+	// Stats, if non-nil, accumulates simulation-effort counters
+	// (events simulated, events skipped by warm starts, warm/cold reset
+	// counts) across all probes of the check.
+	Stats *ProbeStats
 	// Context, if non-nil, cancels checks and searches cooperatively; the
 	// typed error satisfies budget.ErrCanceled (and context.Canceled).
 	Context context.Context
@@ -154,7 +171,11 @@ func allFeasible(ctx context.Context, workers, n int, eval func(i int) (bool, er
 // Each worker reuses a compiled machine per workload across probes: a probe
 // only resets token counts (the capacity assignment becomes the space
 // edges' initial tokens) instead of cloning the graph and rebuilding the
-// engine.
+// engine. With Options.Checkpoints set, the reset is warm: the machine
+// retains run snapshots and resumes from the latest checkpoint the capacity
+// change cannot affect. The per-workload machine pools are LIFO, so a worker
+// tends to get back the machine it used last — consecutive probes of a
+// binary search then differ on one edge and its checkpoints stay valid.
 func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads []sim.Workloads, opts ...Options) CheckFunc {
 	o := optOf(opts)
 	tpl := &probeTemplate{base: g}
@@ -174,19 +195,22 @@ func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads
 				cfg.Stop = sim.Stop{Actor: task, Firings: firings}
 				cfg.MaxEvents = o.MaxEvents
 				cfg.LiteResult = true
+				cfg.Checkpoints = o.Checkpoints
 				cfg.Context = o.Context
 				cfg.Deadline = o.Deadline
 				if m, err = sim.Compile(cfg); err != nil {
 					return false, err
 				}
 			}
-			if err := m.Reset(ov); err != nil {
+			resumed, err := m.ResetWarm(ov)
+			if err != nil {
 				return false, err
 			}
 			res, err := m.Run()
 			if err != nil {
 				return false, err
 			}
+			o.Stats.note(res.Events-resumed, resumed)
 			pools[i].put(m)
 			return feasibleOutcome(res)
 		})
@@ -199,7 +223,9 @@ func DeadlockFreeCheck(g *taskgraph.Graph, task string, firings int64, workloads
 //
 // Each worker reuses a compiled sim.Verifier per workload across probes,
 // so a probe re-runs the two verification phases without re-validating or
-// rebuilding the graph.
+// rebuilding the graph. With Options.Checkpoints set the phase machines
+// warm-start between probes; the LIFO pools give each worker back the
+// verifier it used last so its checkpoints match the previous probe.
 func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, workloads []sim.Workloads, opts ...Options) CheckFunc {
 	o := optOf(opts)
 	tpl := &probeTemplate{base: g}
@@ -213,12 +239,13 @@ func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, 
 			if !ok {
 				var err error
 				vf, err = sim.CompileVerifier(tpl.sized, c, sim.VerifyOptions{
-					Firings:    firings,
-					Workloads:  workloads[i],
-					MaxEvents:  o.MaxEvents,
-					LiteResult: true,
-					Context:    o.Context,
-					Deadline:   o.Deadline,
+					Firings:     firings,
+					Workloads:   workloads[i],
+					MaxEvents:   o.MaxEvents,
+					LiteResult:  true,
+					Checkpoints: o.Checkpoints,
+					Context:     o.Context,
+					Deadline:    o.Deadline,
 				})
 				if err != nil {
 					return false, err
@@ -227,6 +254,13 @@ func ThroughputCheck(g *taskgraph.Graph, c taskgraph.Constraint, firings int64, 
 			v, err := vf.Verify(caps)
 			if err != nil {
 				return false, err
+			}
+			if o.Stats != nil {
+				simulated, resumed, warm, cold := vf.LastEffort()
+				o.Stats.SimEvents.Add(simulated)
+				o.Stats.ResumedEvents.Add(resumed)
+				o.Stats.WarmResets.Add(int64(warm))
+				o.Stats.ColdResets.Add(int64(cold))
 			}
 			pools[i].put(vf)
 			return v.OK, nil
@@ -246,8 +280,11 @@ type Result struct {
 	Checks int
 	// CacheHits counts probes answered by the monotone feasibility cache
 	// without invoking the CheckFunc (zero under Options.NoCache).
-	// Checks + CacheHits is the total probe count.
+	// Checks + CacheHits + BoundHits is the total probe count.
 	CacheHits int
+	// BoundHits counts probes decided by the conservative α̂/α̌ bounds
+	// (Options.Bounds) without simulating (zero when Bounds is nil).
+	BoundHits int
 	// Passes counts coordinate-descent sweeps.
 	Passes int
 }
@@ -292,7 +329,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 		}
 		cur[b] = u
 	}
-	var checks, cacheHits atomic.Int64
+	var checks, cacheHits, boundHits atomic.Int64
 	var cache *probecache.Frontier
 	switch {
 	case o.NoCache:
@@ -313,6 +350,22 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 	probe := func(caps map[string]int64) (bool, error) {
 		if err := ctx.Err(); err != nil {
 			return false, budget.Classify(err)
+		}
+		// The α̂/α̌ bounds decide first, so a bound-decided probe costs no
+		// simulation even on a cold cache. The verdict is recorded in the
+		// cache so the monotone frontier stays consistent with it: a bound
+		// contradicting an earlier simulated verdict (or vice versa) is a
+		// frontier error, not a silent wrong answer.
+		if o.Bounds != nil {
+			if feasible, decided := o.Bounds.Decide(caps); decided {
+				boundHits.Add(1)
+				if cache != nil {
+					if err := cache.Insert(caps, feasible); err != nil {
+						return false, err
+					}
+				}
+				return feasible, nil
+			}
 		}
 		if cache != nil {
 			if feasible, hit := cache.Lookup(caps); hit {
@@ -337,6 +390,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 	if err != nil {
 		res.Checks = int(checks.Load())
 		res.CacheHits = int(cacheHits.Load())
+		res.BoundHits = int(boundHits.Load())
 		return nil, err
 	}
 	if !ok {
@@ -358,6 +412,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 				if err != nil {
 					res.Checks = int(checks.Load())
 					res.CacheHits = int(cacheHits.Load())
+					res.BoundHits = int(boundHits.Load())
 					return nil, budget.Classify(err)
 				}
 				// Monotone narrowing: the largest infeasible probe
@@ -371,6 +426,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 					case !ok && seenFeasible:
 						res.Checks = int(checks.Load())
 						res.CacheHits = int(cacheHits.Load())
+						res.BoundHits = int(boundHits.Load())
 						return nil, fmt.Errorf("minimize: check is not monotone on buffer %q: capacity %d feasible but %d infeasible", b, hi, pts[j])
 					case !ok:
 						lo = pts[j] + 1
@@ -392,6 +448,7 @@ func Search(buffers []string, upper map[string]int64, check CheckFunc, opts ...O
 	}
 	res.Checks = int(checks.Load())
 	res.CacheHits = int(cacheHits.Load())
+	res.BoundHits = int(boundHits.Load())
 	res.Caps = cur
 	return res, nil
 }

@@ -79,6 +79,36 @@ func (p *Periods) LookupValid(period ratio.Rat) (valid, hit bool) {
 	return false, false
 }
 
+// Probe answers one period probe with a single counter update: an exact
+// verdict (with its Total) when recorded, otherwise a monotone-dominance
+// validity answer (exact false, Total zero), otherwise a miss. Callers that
+// issue one Probe per candidate period keep hits + misses equal to the
+// number of probes — the invariant the separate Lookup-then-LookupValid
+// sequence broke by double-counting a miss followed by a dominance hit.
+func (p *Periods) Probe(period ratio.Rat) (v Verdict, exact, hit bool) {
+	p.mu.Lock()
+	if v, ok := p.verdicts[period]; ok {
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return v, true, true
+	}
+	for rec, rv := range p.verdicts {
+		if rv.Valid && rec.LessEq(period) {
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return Verdict{Valid: true}, false, true
+		}
+		if !rv.Valid && period.LessEq(rec) {
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return Verdict{Valid: false}, false, true
+		}
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return Verdict{}, false, false
+}
+
 // Insert records a verdict. A repeat insert overwrites: the sweep always
 // trusts the verdict it just computed over anything previously stored, so
 // a stale or corrupted cached entry heals itself the next time its period

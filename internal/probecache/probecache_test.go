@@ -149,3 +149,45 @@ func TestPeriodsExactAndDominance(t *testing.T) {
 		t.Errorf("Len = %d, want 2", p.Len())
 	}
 }
+
+// TestPeriodsProbeSingleCount pins the probe-accounting invariant: one Probe
+// call updates exactly one counter, so after N probes hits + misses == N.
+// The old Lookup-miss-then-LookupValid-dominance-hit sequence counted such a
+// probe twice; Probe answers exact verdicts, dominance verdicts and misses
+// under a single counter update.
+func TestPeriodsProbeSingleCount(t *testing.T) {
+	p := NewPeriods()
+	p.Insert(r(2, 1), Verdict{Valid: true, Total: 7})
+	p.Insert(r(1, 2), Verdict{Valid: false})
+
+	cases := []struct {
+		period     ratio.Rat
+		valid      bool
+		exact, hit bool
+	}{
+		{r(2, 1), true, true, true},    // exact feasible, Total carried
+		{r(3, 1), true, false, true},   // dominance: relaxed beyond a valid period
+		{r(1, 2), false, true, true},   // exact infeasible
+		{r(1, 4), false, false, true},  // dominance: tighter than an infeasible period
+		{r(1, 1), false, false, false}, // between the frontiers: miss
+		{r(1, 1), false, false, false}, // a repeated miss still counts once each
+	}
+	for i, tc := range cases {
+		v, exact, hit := p.Probe(tc.period)
+		if hit != tc.hit || exact != tc.exact || (hit && v.Valid != tc.valid) {
+			t.Errorf("case %d: Probe(%v) = (%+v, %v, %v), want valid=%v exact=%v hit=%v",
+				i, tc.period, v, exact, hit, tc.valid, tc.exact, tc.hit)
+		}
+		if exact && tc.period.Equal(r(2, 1)) && v.Total != 7 {
+			t.Errorf("case %d: exact probe dropped Total: %+v", i, v)
+		}
+	}
+	hits, misses := p.Counters()
+	if got, want := hits+misses, int64(len(cases)); got != want {
+		t.Errorf("hits(%d) + misses(%d) = %d after %d probes, want exactly %d",
+			hits, misses, got, len(cases), want)
+	}
+	if hits != 4 || misses != 2 {
+		t.Errorf("hits, misses = %d, %d, want 4, 2", hits, misses)
+	}
+}

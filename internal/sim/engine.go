@@ -155,6 +155,18 @@ type Config struct {
 	// look at; explicitly requested recordings (Starts, Transfers,
 	// Occupancy) are still collected.
 	LiteResult bool
+	// Checkpoints is the number of run snapshots the machine retains for
+	// warm-starting (0 disables). With N > 0 slots, Run checkpoints its
+	// state every checkpointEvery events into a reusable arena —
+	// thinning logarithmically once the slots fill, so the retained
+	// checkpoints always span the whole run — and ResetWarm can resume
+	// the next run from the newest checkpoint the changed initial tokens
+	// cannot have affected, instead of replaying from tick 0.
+	// Checkpointing is silently disabled under Validate, CheckInvariants
+	// or StartShift (a warm start skips re-executing the prefix, so
+	// per-event prefix checks and enabling-time-dependent shifts could
+	// diverge from a cold run).
+	Checkpoints int
 }
 
 // TokenInvariant bounds the token sum of a set of edges.
@@ -310,40 +322,52 @@ type portRef struct {
 }
 
 type actorState struct {
-	idx        int
-	name       string
-	mode       Mode
-	rhoTicks   int64
-	exec       func(k int64) ratio.Rat
-	startShift func(k int64) ratio.Rat
-	offsetT    int64
-	periodT    int64
-	started    int64
-	finished   int64
-	busyTicks  int64 // accumulated execution time
-	busyUntil  int64 // earliest tick the next firing may start
-	readyAt    int64 // ASAP with StartShift: tick the armed firing may start
-	armedFor   int64 // ASAP with StartShift: firing index the timer is armed for, -1 none
-	in         []portRef
-	out        []portRef
-	record     bool
-	starts     []int64
+	idx         int
+	name        string
+	mode        Mode
+	rhoTicks    int64
+	exec        func(k int64) ratio.Rat
+	startShift  func(k int64) ratio.Rat
+	offsetT     int64
+	baseOffsetT int64 // compiled offset; Reset reverts SetPeriodicOffsetTicks to it
+	periodT     int64
+	started     int64
+	finished    int64
+	busyTicks   int64 // accumulated execution time
+	busyUntil   int64 // earliest tick the next firing may start
+	readyAt     int64 // ASAP with StartShift: tick the armed firing may start
+	armedFor    int64 // ASAP with StartShift: firing index the timer is armed for, -1 none
+	in          []portRef
+	out         []portRef
+	record      bool
+	starts      []int64
 }
 
 type edgeState struct {
-	name      string
-	initial   int64 // default token count at tick 0
-	consumer  int   // index of the destination actor
-	tokens    int64
-	peak      int64
-	min       int64
-	produced  int64
-	consumed  int64
-	record    bool
-	recs      []TransferRec
-	recordOcc bool
-	occ       []OccupancySample
+	name     string
+	initial  int64 // default token count at tick 0
+	consumer int   // index of the destination actor
+	tokens   int64
+	peak     int64
+	min      int64
+	produced int64
+	consumed int64
+	// minShortfall is the smallest token deficit any failed enabled()
+	// check observed on this edge so far in the run (noShortfall when no
+	// check failed). A warm start that adds δ tokens to this edge keeps
+	// the replayed prefix bit-identical only when δ < minShortfall: every
+	// enabling check that failed must still fail.
+	minShortfall int64
+	record       bool
+	recs         []TransferRec
+	recordOcc    bool
+	occ          []OccupancySample
 }
+
+// noShortfall is the minShortfall sentinel: no enabling check has failed on
+// the edge, so a token increase of any size keeps failed checks failed
+// (there are none).
+const noShortfall = int64(^uint64(0) >> 1)
 
 // sample appends an occupancy sample, merging same-tick updates.
 func (es *edgeState) sample(tick int64) {
@@ -455,6 +479,26 @@ type Machine struct {
 	dirty      []int32 // ASAP actors to re-examine at the current tick
 	dirtyIn    []bool
 	ran        bool // a Run consumed the state; Reset required
+
+	baseFirings int64   // compiled Stop.Firings; Reset reverts SetStopFirings to it
+	runTokens   []int64 // per edgeList index: initial tokens of the pending/current run
+	// epoch counts resets. A reset truncates the recording buffers, so a
+	// Snapshot from an earlier epoch may reference recording prefixes
+	// that no longer exist; Restore rejects it.
+	epoch int64
+
+	// Warm-start state (all inert when ckptSlots == 0).
+	ckptSlots  int         // retained checkpoint slots; 0 disables
+	ckpts      []*Snapshot // checkpoints of the last/current run, ascending by events
+	ckptFree   []*Snapshot // retired snapshot arenas for reuse
+	ckptEvery  int64       // current checkpoint interval in events
+	ckptNext   int64       // event count at which the next checkpoint is taken
+	ckptTokens []int64     // initial tokens of the run the checkpoints describe
+	desScratch []int64     // ResetWarm scratch: desired tokens of the next run
+	ckptStop   int64       // Stop.Firings the checkpoints were taken under
+	ckptOffs   []int64     // per-actor offsetT the checkpoints were taken under
+	resumed    bool        // next Run resumes from a restored checkpoint
+	resumeTick int64       // tick of the restored checkpoint
 }
 
 type resolvedInvariant struct {
@@ -595,6 +639,7 @@ func Compile(cfg Config) (*Machine, error) {
 				}
 			}
 		}
+		as.baseOffsetT = as.offsetT
 		m.actors = append(m.actors, as)
 		m.byName[ga.Name] = as
 	}
@@ -642,6 +687,7 @@ func Compile(cfg Config) (*Machine, error) {
 	}
 
 	m.stop = m.byName[cfg.Stop.Actor]
+	m.baseFirings = cfg.Stop.Firings
 	// The calendar holds at most one finish per actor, one pending
 	// periodic attempt per periodic actor and one armed shifted start per
 	// shifted actor; preallocate past that so the steady state never
@@ -649,6 +695,28 @@ func Compile(cfg Config) (*Machine, error) {
 	m.eq = make(eventHeap, 0, 3*len(m.actors)+8)
 	m.dirty = make([]int32, 0, len(m.actors))
 	m.dirtyIn = make([]bool, len(m.actors))
+	m.runTokens = make([]int64, len(m.edgeList))
+	if cfg.Checkpoints < 0 {
+		return nil, fmt.Errorf("sim: negative checkpoint count %d", cfg.Checkpoints)
+	}
+	m.ckptSlots = cfg.Checkpoints
+	if cfg.Validate || cfg.CheckInvariants {
+		// A cold run evaluates per-event checks over the whole prefix a
+		// warm start would skip; keep runs bit-identical by never warm
+		// starting under them.
+		m.ckptSlots = 0
+	}
+	for _, a := range m.actors {
+		if a.startShift != nil {
+			// Shifted starts arm timers at enabling time, which a token
+			// change can move without changing any replayed token state.
+			m.ckptSlots = 0
+		}
+	}
+	if m.ckptSlots > 0 {
+		m.ckptTokens = make([]int64, len(m.edgeList))
+		m.desScratch = make([]int64, len(m.edgeList))
+	}
 	if err := m.Reset(nil); err != nil {
 		return nil, err
 	}
@@ -670,18 +738,36 @@ func (m *Machine) setInvariantMax(name string, max int64) {
 	}
 }
 
-// Reset rewinds the machine to tick 0 so it can Run again. initialTokens
+// Reset rewinds the machine to tick 0 so it can Run again, restoring the
+// exact state Compile left it in plus the given overrides: initialTokens
 // optionally overrides the initial token count of the named edges for the
 // next run (capacity probes override the space edges); edges without an
-// entry revert to the graph's initial tokens. No compiled structure is
-// rebuilt and no per-edge state is reallocated.
+// entry revert to the graph's initial tokens; the SetStopFirings and
+// SetPeriodicOffsetTicks overrides revert to the compiled configuration;
+// the retained checkpoints of the previous run are discarded. No compiled
+// structure is rebuilt and no per-edge state is reallocated.
+//
+// ResetWarm is the variant that keeps the knob overrides and the
+// checkpoints, so the next run can resume mid-schedule.
 func (m *Machine) Reset(initialTokens map[string]int64) error {
+	m.cfg.Stop.Firings = m.baseFirings
+	for _, a := range m.actors {
+		a.offsetT = a.baseOffsetT
+	}
+	return m.resetTokens(initialTokens)
+}
+
+// resetTokens rewinds all per-run state (tokens, counters, recordings, the
+// event calendar) without touching the SetStopFirings and
+// SetPeriodicOffsetTicks overrides. It invalidates the retained
+// checkpoints: they describe a run whose recordings are truncated here.
+func (m *Machine) resetTokens(initialTokens map[string]int64) error {
 	for name := range initialTokens {
 		if _, ok := m.edges[name]; !ok {
 			return fmt.Errorf("sim: Reset: unknown edge %q", name)
 		}
 	}
-	for _, es := range m.edgeList {
+	for i, es := range m.edgeList {
 		tok := es.initial
 		if v, ok := initialTokens[es.name]; ok {
 			if v < 0 {
@@ -694,9 +780,11 @@ func (m *Machine) Reset(initialTokens map[string]int64) error {
 		es.min = tok
 		es.produced = 0
 		es.consumed = 0
+		es.minShortfall = noShortfall
 		es.recs = es.recs[:0]
 		es.occ = es.occ[:0]
 		es.sample(0)
+		m.runTokens[i] = tok
 	}
 	for _, a := range m.actors {
 		a.started = 0
@@ -715,13 +803,17 @@ func (m *Machine) Reset(initialTokens map[string]int64) error {
 		m.dirtyIn[i] = false
 	}
 	m.ran = false
+	m.resumed = false
+	m.epoch++
+	m.dropCheckpoints(0)
 	return nil
 }
 
 // SetPeriodicOffsetTicks repoints the start offset of a compiled Periodic
 // actor, in ticks of the machine's time base. It takes effect at the next
-// Run; Reset does not revert it. The throughput verifier uses this to try
-// several offsets on one compiled machine.
+// Run; Reset reverts it to the compiled offset, ResetWarm keeps it. The
+// throughput verifier uses this to try several offsets on one compiled
+// machine.
 func (m *Machine) SetPeriodicOffsetTicks(actor string, ticks int64) error {
 	a := m.byName[actor]
 	if a == nil {
@@ -738,9 +830,9 @@ func (m *Machine) SetPeriodicOffsetTicks(actor string, ticks int64) error {
 }
 
 // SetStopFirings repoints the completion firing count of the machine's stop
-// actor. It takes effect at the next Run; Reset does not revert it. The
-// exact-witness replayer uses this to replay differently sized witnesses on
-// one compiled machine.
+// actor. It takes effect at the next Run; Reset reverts it to the compiled
+// count, ResetWarm keeps it. The exact-witness replayer uses this to replay
+// differently sized witnesses on one compiled machine.
 func (m *Machine) SetStopFirings(firings int64) error {
 	if firings <= 0 {
 		return fmt.Errorf("sim: SetStopFirings: firings must be positive, got %d", firings)
@@ -866,8 +958,14 @@ func (m *Machine) startDirty(t int64) error {
 		m.dirtyIn[idx] = false
 		a := m.actors[idx]
 		for a.busyUntil <= t {
-			ok, _, _ := a.enabled()
+			ok, p, need := a.enabled()
 			if !ok {
+				// Remember how far the failing edge was from enabling;
+				// warm starts must not add enough tokens to flip a
+				// replayed failure into a start.
+				if sh := need - p.edge.tokens; sh < p.edge.minShortfall {
+					p.edge.minShortfall = sh
+				}
 				break
 			}
 			if a.startShift != nil {
@@ -905,7 +1003,10 @@ func (m *Machine) startDirty(t int64) error {
 }
 
 // Run executes the machine from its reset state to completion. After a run
-// the machine must be Reset before running again.
+// the machine must be Reset (or ResetWarm) before running again. A run
+// resumed from a ResetWarm checkpoint continues mid-schedule and produces
+// results bit-identical to a cold run of the same configuration, with
+// Result.Events still counting from tick 0 (replayed prefix included).
 func (m *Machine) Run() (*Result, error) {
 	if m.ran {
 		return nil, fmt.Errorf("sim: Machine.Run called again without Reset")
@@ -913,20 +1014,29 @@ func (m *Machine) Run() (*Result, error) {
 	m.ran = true
 	res := &Result{Base: m.base}
 
-	// Seed periodic actors' first start attempts, and give every ASAP
-	// actor its initial start attempt at tick 0.
-	for _, a := range m.actors {
-		if a.mode == Periodic {
-			m.push(event{tick: a.offsetT, kind: evPeriodicStart, actor: a.idx})
-		} else {
-			m.markDirty(a.idx)
+	now := int64(0)
+	if m.resumed {
+		// State, calendar and counters were restored by ResetWarm; the
+		// seeding below already happened in the replayed prefix.
+		m.resumed = false
+		now = m.resumeTick
+	} else {
+		if m.ckptSlots > 0 {
+			m.beginCheckpoints()
+		}
+		// Seed periodic actors' first start attempts, and give every ASAP
+		// actor its initial start attempt at tick 0.
+		for _, a := range m.actors {
+			if a.mode == Periodic {
+				m.push(event{tick: a.offsetT, kind: evPeriodicStart, actor: a.idx})
+			} else {
+				m.markDirty(a.idx)
+			}
+		}
+		if err := m.startDirty(0); err != nil {
+			return nil, err
 		}
 	}
-	if err := m.startDirty(0); err != nil {
-		return nil, err
-	}
-
-	now := int64(0)
 	for len(m.eq) > 0 && m.stop.finished < m.cfg.Stop.Firings {
 		if m.events >= m.maxEvents {
 			res.Outcome = LimitExceeded
@@ -997,6 +1107,12 @@ func (m *Machine) Run() (*Result, error) {
 		}
 		if err := m.startDirty(now); err != nil {
 			return nil, err
+		}
+		// Checkpoint at quiescent points only: every same-tick event is
+		// drained and the dirty list is empty, so the snapshot is a state
+		// a cold run passes through between ticks.
+		if m.ckptSlots > 0 && m.events >= m.ckptNext {
+			m.takeCheckpoint(now)
 		}
 	}
 

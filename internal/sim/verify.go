@@ -206,6 +206,13 @@ type VerifyOptions struct {
 	// (see Config.Deadline); the typed error satisfies
 	// budget.ErrBudgetExceeded.
 	Deadline time.Time
+	// Checkpoints enables warm-started probing on both phase machines:
+	// each retains up to this many run checkpoints (Config.Checkpoints)
+	// and Verify resumes a phase from the newest checkpoint the changed
+	// capacities cannot have affected instead of replaying from tick 0.
+	// Results are bit-identical either way; LastEffort reports how much
+	// re-simulation each Verify actually skipped. 0 disables.
+	Checkpoints int
 }
 
 // Verifier is a compiled throughput verification: both simulation phases —
@@ -227,6 +234,31 @@ type Verifier struct {
 	// fixedOffsets holds opts.Offsets converted to ticks, tried before
 	// the offsets derived from the self-timed schedule.
 	fixedOffsets []int64
+	// Effort counters of the most recent Verify (see LastEffort).
+	lastSim     int64
+	lastResumed int64
+	lastWarm    int
+	lastCold    int
+}
+
+// LastEffort reports the simulation effort of the most recent Verify call:
+// events actually executed across all phase runs, events skipped by
+// resuming phases from checkpoints, and how many phase resets were warm
+// (resumed) versus cold (replayed from tick 0). All zeros before the first
+// Verify; without VerifyOptions.Checkpoints every reset is cold.
+func (vf *Verifier) LastEffort() (simulated, resumedEvents int64, warm, cold int) {
+	return vf.lastSim, vf.lastResumed, vf.lastWarm, vf.lastCold
+}
+
+// noteRun accumulates one phase run's effort into the Verify counters.
+func (vf *Verifier) noteRun(totalEvents, resumed int64) {
+	vf.lastSim += totalEvents - resumed
+	vf.lastResumed += resumed
+	if resumed > 0 {
+		vf.lastWarm++
+	} else {
+		vf.lastCold++
+	}
 }
 
 // CompileVerifier validates the constraint and builds both phases of the
@@ -254,6 +286,7 @@ func CompileVerifier(tg *taskgraph.Graph, c taskgraph.Constraint, opts VerifyOpt
 	cfg.AllowOverrun = opts.AllowOverrun
 	cfg.Context = opts.Context
 	cfg.Deadline = opts.Deadline
+	cfg.Checkpoints = opts.Checkpoints
 	cfg.ExtraTimes = append([]ratio.Rat{c.Period}, opts.Offsets...)
 	cfg.ExtraTimes = append(cfg.ExtraTimes, opts.ExtraTimes...)
 	if len(opts.Exec) > 0 {
@@ -357,13 +390,21 @@ func (vf *Verifier) Verify(caps map[string]int64) (*Verification, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := vf.selfTimed.Reset(ov); err != nil {
+	vf.lastSim, vf.lastResumed, vf.lastWarm, vf.lastCold = 0, 0, 0, 0
+	// ResetWarm resumes the phase from a retained checkpoint when the
+	// capacity change provably cannot affect the replayed prefix; with
+	// checkpointing disabled it is a plain cold reset. Either way it
+	// must not revert the per-attempt knob overrides, so the periodic
+	// phase below sets its offset first and resets after.
+	resumed, err := vf.selfTimed.ResetWarm(ov)
+	if err != nil {
 		return nil, err
 	}
 	selfTimed, err := vf.selfTimed.Run()
 	if err != nil {
 		return nil, err
 	}
+	vf.noteRun(selfTimed.Events, resumed)
 	v := &Verification{SelfTimed: selfTimed}
 	if selfTimed.Outcome != Completed {
 		v.Reason = fmt.Sprintf("self-timed phase %s", selfTimed.Outcome)
@@ -396,13 +437,15 @@ func (vf *Verifier) Verify(caps map[string]int64) (*Verification, error) {
 		if err := vf.periodic.SetPeriodicOffsetTicks(vf.c.Task, ot); err != nil {
 			return nil, err
 		}
-		if err := vf.periodic.Reset(ov); err != nil {
+		resumed, err := vf.periodic.ResetWarm(ov)
+		if err != nil {
 			return nil, err
 		}
 		periodic, err := vf.periodic.Run()
 		if err != nil {
 			return nil, err
 		}
+		vf.noteRun(periodic.Events, resumed)
 		v.Periodic = periodic
 		// The structured diagnostics track the last attempt, like Reason.
 		v.Underrun = periodic.Underrun
