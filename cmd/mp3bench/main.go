@@ -357,7 +357,7 @@ func startProfiling(cpuPath, memPath string) (func(), error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			_ = f.Close() // the start error is the one worth reporting
 			return nil, err
 		}
 		cpuFile = f
@@ -365,7 +365,10 @@ func startProfiling(cpuPath, memPath string) (func(), error) {
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			// A failed close can silently truncate the profile.
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
@@ -377,7 +380,9 @@ func startProfiling(cpuPath, memPath string) (func(), error) {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "memprofile:", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
 		}
 	}, nil
 }

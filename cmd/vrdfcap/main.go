@@ -351,7 +351,7 @@ func startProfiling(cpuPath, memPath string) (func(), error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			_ = f.Close() // the start error is the one worth reporting
 			return nil, err
 		}
 		cpuFile = f
@@ -359,7 +359,10 @@ func startProfiling(cpuPath, memPath string) (func(), error) {
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			// A failed close can silently truncate the profile.
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
@@ -371,7 +374,9 @@ func startProfiling(cpuPath, memPath string) (func(), error) {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "memprofile:", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
 		}
 	}, nil
 }

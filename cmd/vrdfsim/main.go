@@ -195,7 +195,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			if err := trace.WriteTransfersCSV(tf, res.Transfers[p.Data], res.Base); err != nil {
-				tf.Close()
+				_ = tf.Close() // the write error is the one worth reporting
 				return err
 			}
 			if err := tf.Close(); err != nil {
@@ -206,7 +206,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			if err := trace.WriteOccupancyCSV(of, res.Occupancy[p.Data], res.Base); err != nil {
-				of.Close()
+				_ = of.Close() // the write error is the one worth reporting
 				return err
 			}
 			if err := of.Close(); err != nil {

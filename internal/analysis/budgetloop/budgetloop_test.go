@@ -1,0 +1,12 @@
+package budgetloop_test
+
+import (
+	"testing"
+
+	"vrdfcap/internal/analysis/analysistest"
+	"vrdfcap/internal/analysis/budgetloop"
+)
+
+func TestBudgetLoop(t *testing.T) {
+	analysistest.Run(t, budgetloop.Analyzer, "testdata", "./...")
+}

@@ -1,0 +1,11 @@
+// Package other shows the analyzer's scope: identical loops outside the
+// core packages are not budget-relevant.
+package other
+
+func anything() {
+	for { // ok: not a core package
+		if len("x") > 0 {
+			return
+		}
+	}
+}

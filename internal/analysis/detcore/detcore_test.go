@@ -1,0 +1,12 @@
+package detcore_test
+
+import (
+	"testing"
+
+	"vrdfcap/internal/analysis/analysistest"
+	"vrdfcap/internal/analysis/detcore"
+)
+
+func TestDetCore(t *testing.T) {
+	analysistest.Run(t, detcore.Analyzer, "testdata", "./...")
+}

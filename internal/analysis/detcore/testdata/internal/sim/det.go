@@ -1,0 +1,54 @@
+// Package sim exercises the detcore analyzer inside a deterministic core
+// package (matched by final import-path element).
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic core package sim`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic core package sim`
+}
+
+func sharedRand() int64 {
+	return rand.Int63() // want `package-level rand.Int63 in deterministic core package sim`
+}
+
+func seededRand(r *rand.Rand) int64 {
+	return r.Int63() // ok: caller-owned, explicitly seeded generator
+}
+
+func durations(d time.Duration) int64 {
+	return d.Nanoseconds() // ok: durations are values, not clock reads
+}
+
+func unsortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `range over map builds slice out whose order depends on map iteration`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // ok: sorted before use
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sumValues(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m { // ok: order-insensitive fold
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,9 @@
+// Package other shows the analyzer's scope: non-core packages may read the
+// clock freely.
+package other
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // ok: not a core package
+}

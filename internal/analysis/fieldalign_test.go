@@ -1,0 +1,92 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+
+	"vrdfcap/internal/analysis/load"
+)
+
+// TestFieldAlignmentHotStructs asserts that every struct declared in the
+// allocation-sensitive packages (internal/sim holds tens of thousands of
+// events and per-edge records per run; internal/probecache persists entry
+// slices) is at its minimal size under field reordering, the same check as
+// go vet's fieldalignment, which the CI lint gate also enables for these
+// two packages. Structs where padding is accepted deliberately would carry
+// a reorder here instead — as of this test, none do.
+func TestFieldAlignmentHotStructs(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := load.Dir(root, "./internal/sim", "./internal/probecache")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			if isTestGoFile(pkg.Fset, file.Pos()) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := pkg.Info.TypeOf(ts.Type).(*types.Struct)
+				if !ok {
+					return true
+				}
+				cur := pkg.Sizes.Sizeof(st)
+				min := minimalStructSize(pkg.Sizes, st)
+				if min < cur {
+					pos := pkg.Fset.Position(ts.Pos())
+					t.Errorf("%s: struct %s is %d bytes, reorderable to %d (%d bytes of avoidable padding)",
+						pos, ts.Name.Name, cur, min, cur-min)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isTestGoFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// minimalStructSize computes the struct's size with fields greedily
+// reordered by descending alignment then descending size — the layout go
+// vet's fieldalignment suggests.
+func minimalStructSize(sizes types.Sizes, st *types.Struct) int64 {
+	n := st.NumFields()
+	fields := make([]types.Type, 0, n)
+	for i := 0; i < n; i++ {
+		fields = append(fields, st.Field(i).Type())
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		ai, aj := sizes.Alignof(fields[i]), sizes.Alignof(fields[j])
+		if ai != aj {
+			return ai > aj
+		}
+		return sizes.Sizeof(fields[i]) > sizes.Sizeof(fields[j])
+	})
+	var off, maxAlign int64 = 0, 1
+	for _, f := range fields {
+		a := sizes.Alignof(f)
+		if a > maxAlign {
+			maxAlign = a
+		}
+		if r := off % a; r != 0 {
+			off += a - r
+		}
+		off += sizes.Sizeof(f)
+	}
+	if r := off % maxAlign; r != 0 {
+		off += maxAlign - r
+	}
+	return off
+}

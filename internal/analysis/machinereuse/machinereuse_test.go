@@ -1,0 +1,12 @@
+package machinereuse_test
+
+import (
+	"testing"
+
+	"vrdfcap/internal/analysis/analysistest"
+	"vrdfcap/internal/analysis/machinereuse"
+)
+
+func TestMachineReuse(t *testing.T) {
+	analysistest.Run(t, machinereuse.Analyzer, "testdata", "./...")
+}

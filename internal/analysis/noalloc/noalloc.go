@@ -1,0 +1,254 @@
+// Package noalloc checks that functions annotated //vrdf:noalloc contain no
+// syntactically allocating constructs. The annotation marks the simulator's
+// steady-state paths (the event loop helpers in internal/sim, the probe
+// machinery in internal/exact and internal/probecache) whose zero-alloc
+// property PR 2 and PR 4 bought with benchmarks; this analyzer keeps later
+// edits from silently paying it back.
+//
+// Flagged constructs:
+//
+//   - append (may grow the backing array)
+//   - make / new
+//   - slice, map and function (closure) literals, and &composite literals
+//   - string concatenation (+ / += on strings)
+//   - conversions and assignments that box a concrete value into an
+//     interface
+//   - any call into package fmt
+//
+// A construct that is provably fine at run time — an append into a slice
+// with retained steady-state capacity, a cold-path allocation behind a
+// once-guard — carries a //vrdf:allocok(reason) waiver on its line. The
+// waivers are honored by the escape-analysis cross-check test as well
+// (internal/analysis/escape_test.go), which verifies the compiler's -m
+// output agrees that unwaived lines of annotated functions do not allocate,
+// so the annotation, the waivers and the compiler never drift apart.
+//
+// The check is intra-procedural: calls to non-fmt functions are trusted
+// (their own annotations are their own problem). The analyzer also reports
+// a //vrdf:noalloc comment that is not attached to a function declaration,
+// so a drifted annotation fails vet instead of silently checking nothing.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vrdfcap/internal/analysis"
+)
+
+// Annotation is the comment that opts a function into the check.
+const Annotation = "//vrdf:noalloc"
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "check that //vrdf:noalloc functions contain no allocating constructs (append, make, literals, closures, interface boxing, fmt, string concat)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		waivers := analysis.Waivers(pass.Fset, file, "allocok")
+		annotated := make(map[int]bool) // lines of annotations attached to functions
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if isAnnotation(c.Text) {
+					annotated[pass.Fset.Position(c.Pos()).Line] = true
+					if fn.Body != nil {
+						checkFunc(pass, fn, waivers)
+					}
+				}
+			}
+		}
+		// Misplaced annotations: every //vrdf:noalloc comment must be part
+		// of a function's doc group.
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if isAnnotation(c.Text) && !annotated[pass.Fset.Position(c.Pos()).Line] {
+					pass.Reportf(c.Pos(), "misplaced %s: the annotation must be in the doc comment of a function declaration", Annotation)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func isAnnotation(text string) bool {
+	t := strings.TrimSpace(text)
+	if t == Annotation {
+		return true
+	}
+	// Tolerate trailing commentary after the marker.
+	return strings.HasPrefix(t, Annotation) && (t[len(Annotation)] == ' ' || t[len(Annotation)] == '\t')
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, waivers map[int]analysis.Waiver) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if w, ok := analysis.Waived(pass.Fset, waivers, pos); ok {
+			if w.Reason == "" {
+				pass.Reportf(w.Pos, "vrdf:allocok waiver needs a reason")
+			}
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				switch {
+				case isBuiltin(info, fun, "append"):
+					report(n.Pos(), "append in //vrdf:noalloc function %s may grow its backing array", fn.Name.Name)
+				case isBuiltin(info, fun, "make"):
+					report(n.Pos(), "make in //vrdf:noalloc function %s allocates", fn.Name.Name)
+				case isBuiltin(info, fun, "new"):
+					report(n.Pos(), "new in //vrdf:noalloc function %s allocates", fn.Name.Name)
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok {
+					if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+						report(n.Pos(), "call to fmt.%s in //vrdf:noalloc function %s allocates (formatting boxes its operands)", fun.Sel.Name, fn.Name.Name)
+					}
+				}
+			}
+			// Explicit conversion to an interface type: T(x) with T interface.
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				if isIface(tv.Type) && len(n.Args) == 1 && !isIfaceExpr(info, n.Args[0]) && !isNil(info, n.Args[0]) {
+					report(n.Pos(), "conversion to interface in //vrdf:noalloc function %s boxes its operand", fn.Name.Name)
+				}
+			}
+			// Concrete arguments passed to interface parameters.
+			if sig := callSignature(info, n); sig != nil {
+				checkArgs(report, info, fn, n, sig)
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal in //vrdf:noalloc function %s allocates", fn.Name.Name)
+			case *types.Map:
+				report(n.Pos(), "map literal in //vrdf:noalloc function %s allocates", fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal in //vrdf:noalloc function %s allocates", fn.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure literal in //vrdf:noalloc function %s allocates", fn.Name.Name)
+			return false // the closure body is the closure's problem
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n.X)) {
+				report(n.Pos(), "string concatenation in //vrdf:noalloc function %s allocates", fn.Name.Name)
+			}
+		case *ast.ValueSpec:
+			// var x I = v boxes v when I is an interface type.
+			for i, name := range n.Names {
+				if i >= len(n.Values) {
+					break
+				}
+				lt := info.TypeOf(name)
+				if lt != nil && isIface(lt) && !isIfaceExpr(info, n.Values[i]) && !isNil(info, n.Values[i]) {
+					report(n.Values[i].Pos(), "assignment boxes a concrete value into an interface in //vrdf:noalloc function %s", fn.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "string concatenation in //vrdf:noalloc function %s allocates", fn.Name.Name)
+			}
+			// Assigning a concrete value to an interface destination boxes.
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						lt := info.TypeOf(n.Lhs[i])
+						if lt != nil && isIface(lt) && !isIfaceExpr(info, n.Rhs[i]) && !isNil(info, n.Rhs[i]) {
+							report(n.Rhs[i].Pos(), "assignment boxes a concrete value into an interface in //vrdf:noalloc function %s", fn.Name.Name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkArgs flags concrete values passed to interface parameters (the
+// classic hidden allocation: an int passed to fmt-style ...any, an error
+// built per event).
+func checkArgs(report func(token.Pos, string, ...any), info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isIface(pt) {
+			continue
+		}
+		if isIfaceExpr(info, arg) || isNil(info, arg) {
+			continue
+		}
+		report(arg.Pos(), "argument boxes a concrete value into an interface parameter in //vrdf:noalloc function %s", fn.Name.Name)
+	}
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isIface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isIfaceExpr(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
+	return t == nil || isIface(t)
+}
+
+func isNil(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	return ok && tv.IsNil()
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"vrdfcap/internal/analysis/analysistest"
+	"vrdfcap/internal/analysis/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "testdata", "./...")
+}

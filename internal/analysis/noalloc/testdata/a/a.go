@@ -1,0 +1,108 @@
+// Package a exercises the noalloc analyzer: annotated functions with
+// allocating constructs (flagged), waived sites, and clean hot paths.
+package a
+
+import "fmt"
+
+type rec struct {
+	tick int64
+	tok  int64
+}
+
+type ring struct {
+	buf []rec
+}
+
+// --- flagged constructs ---
+
+//vrdf:noalloc
+func usesAppend(r *ring, v rec) {
+	r.buf = append(r.buf, v) // want `append in //vrdf:noalloc function usesAppend may grow its backing array`
+}
+
+//vrdf:noalloc
+func usesMake() []rec {
+	return make([]rec, 4) // want `make in //vrdf:noalloc function usesMake allocates`
+}
+
+//vrdf:noalloc
+func usesNew() *rec {
+	return new(rec) // want `new in //vrdf:noalloc function usesNew allocates`
+}
+
+//vrdf:noalloc
+func usesFmt(n int64) {
+	fmt.Println(n) // want `call to fmt.Println in //vrdf:noalloc function usesFmt allocates` `argument boxes a concrete value into an interface parameter`
+}
+
+//vrdf:noalloc
+func sliceLit() []rec {
+	return []rec{{1, 2}} // want `slice literal in //vrdf:noalloc function sliceLit allocates`
+}
+
+//vrdf:noalloc
+func mapLit() map[string]int {
+	return map[string]int{} // want `map literal in //vrdf:noalloc function mapLit allocates`
+}
+
+//vrdf:noalloc
+func addrOfComposite() *rec {
+	return &rec{1, 2} // want `&composite literal in //vrdf:noalloc function addrOfComposite allocates`
+}
+
+//vrdf:noalloc
+func closure() func() {
+	return func() {} // want `closure literal in //vrdf:noalloc function closure allocates`
+}
+
+//vrdf:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation in //vrdf:noalloc function concat allocates`
+}
+
+//vrdf:noalloc
+func boxes(v int64) any {
+	var x any = v // want `assignment boxes a concrete value into an interface`
+	return x
+}
+
+// --- waivers ---
+
+//vrdf:noalloc
+func waivedAppend(r *ring, v rec) {
+	r.buf = append(r.buf, v) //vrdf:allocok(buf keeps steady-state capacity across resets)
+}
+
+//vrdf:noalloc
+func waiverNeedsReason(r *ring, v rec) {
+	//vrdf:allocok() // want `vrdf:allocok waiver needs a reason`
+	r.buf = append(r.buf, v)
+}
+
+// --- allowed: genuinely alloc-free bodies ---
+
+//vrdf:noalloc
+func hotPath(r *ring, tick int64) int64 {
+	var sum int64
+	for i := range r.buf {
+		if r.buf[i].tick == tick {
+			sum += r.buf[i].tok
+		}
+	}
+	return sum
+}
+
+//vrdf:noalloc
+func reuseTail(r *ring) {
+	r.buf = r.buf[:0] // reslicing is free
+}
+
+// unannotated functions may allocate freely.
+func coldPath() []rec {
+	return append([]rec(nil), rec{1, 2})
+}
+
+// --- misplaced annotation ---
+
+//vrdf:noalloc // want `misplaced //vrdf:noalloc: the annotation must be in the doc comment of a function declaration`
+var sink []rec

@@ -1,0 +1,125 @@
+// Package ratioarith forbids raw integer arithmetic on ratio components
+// outside internal/ratio. The paper's throughput constraints are rational
+// firing rates; internal/ratio centralizes the overflow-checked (and
+// cross-multiplication-based) arithmetic on them after an early PR chased a
+// silent int64 overflow in an inlined a.num*b.den comparison. Any `+ - * /`
+// (or their assignment forms) whose operand is the result of a Num() or
+// Den() call on a ratio.Rat, outside package ratio itself, is a finding:
+// the fix is to use ratio.Rat's own methods (Mul, Cmp, MulInt, ...), which
+// check for overflow, instead of re-deriving the arithmetic at a call site.
+//
+// Comparisons (== < >) are deliberately allowed: they do not overflow, and
+// exact-value checks like r.Den() == 1 are idiomatic. Shifts and bit ops
+// are likewise out of scope.
+package ratioarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vrdfcap/internal/analysis"
+)
+
+// Analyzer is the ratioarith analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ratioarith",
+	Doc:  "forbid raw + - * / on ratio.Rat Num()/Den() components outside internal/ratio (use the overflow-checked ratio methods)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if analysis.PkgIs(pass.Pkg.Path(), "ratio") {
+		return nil, nil // ratio itself implements the checked arithmetic
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !arithOp(n.Op) {
+					return true
+				}
+				if name, ok := componentExpr(pass, n.X); ok {
+					pass.Reportf(n.Pos(), "raw %s on ratio component %s outside internal/ratio: use the overflow-checked ratio.Rat methods", n.Op, name)
+				} else if name, ok := componentExpr(pass, n.Y); ok {
+					pass.Reportf(n.Pos(), "raw %s on ratio component %s outside internal/ratio: use the overflow-checked ratio.Rat methods", n.Op, name)
+				}
+			case *ast.AssignStmt:
+				if !arithAssign(n.Tok) {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if name, ok := componentExpr(pass, rhs); ok {
+						pass.Reportf(n.Pos(), "raw %s with ratio component %s outside internal/ratio: use the overflow-checked ratio.Rat methods", n.Tok, name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if name, ok := componentExpr(pass, n.X); ok {
+					pass.Reportf(n.Pos(), "raw %s on ratio component %s outside internal/ratio: use the overflow-checked ratio.Rat methods", n.Tok, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func arithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		return true
+	}
+	return false
+}
+
+func arithAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// componentExpr reports whether x is (possibly parenthesized) a call to the
+// Num or Den accessor of ratio.Rat, returning a printable name like
+// "r.Num()".
+func componentExpr(pass *analysis.Pass, x ast.Expr) (string, bool) {
+	x = ast.Unparen(x)
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Num" && sel.Sel.Name != "Den" {
+		return "", false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil || !isRat(recv) {
+		return "", false
+	}
+	name := sel.Sel.Name + "()"
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		name = id.Name + "." + name
+	}
+	return name, true
+}
+
+// isRat reports whether t is ratio.Rat (or a pointer to it), matching the
+// package by final import-path element so fixtures work.
+func isRat(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rat" && obj.Pkg() != nil && analysis.PkgIs(obj.Pkg().Path(), "ratio")
+}

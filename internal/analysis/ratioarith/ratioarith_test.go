@@ -1,0 +1,12 @@
+package ratioarith_test
+
+import (
+	"testing"
+
+	"vrdfcap/internal/analysis/analysistest"
+	"vrdfcap/internal/analysis/ratioarith"
+)
+
+func TestRatioArith(t *testing.T) {
+	analysistest.Run(t, ratioarith.Analyzer, "testdata", "./...")
+}

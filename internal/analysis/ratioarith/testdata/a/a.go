@@ -1,0 +1,37 @@
+// Package a exercises the ratioarith analyzer: raw component arithmetic
+// outside internal/ratio is flagged; comparisons and method use are not.
+package a
+
+import "fixtures/internal/ratio"
+
+func mulComponents(a, b ratio.Rat) int64 {
+	return a.Num() * b.Den() // want `raw \* on ratio component a.Num\(\) outside internal/ratio`
+}
+
+func addComponents(a ratio.Rat) int64 {
+	return a.Num() + 1 // want `raw \+ on ratio component a.Num\(\) outside internal/ratio`
+}
+
+func divideByDen(total int64, r ratio.Rat) int64 {
+	return total / r.Den() // want `raw / on ratio component r.Den\(\) outside internal/ratio`
+}
+
+func accumulate(rs []ratio.Rat) int64 {
+	var sum int64
+	for _, r := range rs {
+		sum += r.Num() // want `raw \+= with ratio component r.Num\(\) outside internal/ratio`
+	}
+	return sum
+}
+
+func compare(a, b ratio.Rat) bool {
+	return a.Num() == b.Num() && a.Den() < b.Den() // ok: comparisons cannot overflow
+}
+
+func wholeCheck(r ratio.Rat) bool {
+	return r.Den() == 1 // ok
+}
+
+func unrelated(x, y int64) int64 {
+	return x*y + 1 // ok: not ratio components
+}

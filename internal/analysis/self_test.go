@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot resolves the main module's directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// TestSelfApplication builds cmd/vrdfvet and runs it over the whole repo via
+// `go vet -vettool`. The suite must pass clean: every real finding it ever
+// raises is either fixed or carries a reasoned waiver, and this test is what
+// keeps that loop closed.
+func TestSelfApplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-repo vet")
+	}
+	root := repoRoot(t)
+	tool := filepath.Join(t.TempDir(), "vrdfvet")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/vrdfvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vrdfvet: %v\n%s", err, out)
+	}
+
+	var stderr bytes.Buffer
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	vet.Stderr = &stderr
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool=vrdfvet ./... failed: %v\n%s", err, stderr.String())
+	}
+}

@@ -1,0 +1,24 @@
+// Package suite enumerates the vrdfvet analyzers in their canonical order,
+// shared by the cmd/vrdfvet driver and the self-application test so the two
+// can never disagree about what "the suite" is.
+package suite
+
+import (
+	"vrdfcap/internal/analysis"
+	"vrdfcap/internal/analysis/budgetloop"
+	"vrdfcap/internal/analysis/detcore"
+	"vrdfcap/internal/analysis/machinereuse"
+	"vrdfcap/internal/analysis/noalloc"
+	"vrdfcap/internal/analysis/ratioarith"
+)
+
+// All returns the full vrdfvet suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		budgetloop.Analyzer,
+		detcore.Analyzer,
+		machinereuse.Analyzer,
+		noalloc.Analyzer,
+		ratioarith.Analyzer,
+	}
+}

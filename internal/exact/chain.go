@@ -288,6 +288,7 @@ func (c *ChainCertifier) Certify(caps map[string]int64) (bool, *ChainWitness, er
 		if !progress {
 			w := &ChainWitness{In: map[string][]int64{}, Out: map[string][]int64{}}
 			curKey := k
+			//vrdf:unbudgeted(walks the acyclic parent chain of an already-explored state, bounded by the budgeted search above)
 			for {
 				e := parent[curKey]
 				if !e.valid {

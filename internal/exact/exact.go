@@ -172,6 +172,7 @@ func (ps *pairSearcher) deadlockFree(capacity int64) (bool, *Witness, error) {
 			// Both idle with unstartable commitments: deadlock.
 			w := &Witness{}
 			cur := st
+			//vrdf:unbudgeted(walks the acyclic parent chain of an already-explored state, bounded by the budgeted search above)
 			for {
 				e := parent[cur]
 				if !e.valid {
@@ -254,6 +255,7 @@ func positive(q taskgraph.QuantaSet) []int64 {
 	return out
 }
 
+//vrdf:noalloc
 func reverse(s []int64) {
 	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
 		s[i], s[j] = s[j], s[i]

@@ -91,6 +91,7 @@ func (r *Replayer) Replay(w *Witness, capacity int64) (*sim.Result, error) {
 	if err := r.m.Reset(map[string]int64{r.space: capacity}); err != nil {
 		return nil, err
 	}
+	//vrdf:reuseok(the Replayer owns r.m and every Replay entry Resets before overriding, so the leaked stop count is re-pointed before it can be observed)
 	if err := r.m.SetStopFirings(int64(len(w.Cons)) + 10); err != nil {
 		return nil, err
 	}

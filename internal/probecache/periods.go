@@ -1,6 +1,7 @@
 package probecache
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -147,6 +148,16 @@ func (p *Periods) snapshot() []periodRecord {
 	for rec, v := range p.verdicts {
 		out = append(out, periodRecord{Num: rec.Num(), Den: rec.Den(), Valid: v.Valid, Total: v.Total})
 	}
+	// The snapshot feeds the persisted JSON; sort it (any total order will
+	// do — lexicographic on the reduced components avoids cross-multiplying,
+	// which could overflow) so the on-disk bytes do not depend on map
+	// iteration order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Den != out[j].Den {
+			return out[i].Den < out[j].Den
+		}
+		return out[i].Num < out[j].Num
+	})
 	return out
 }
 

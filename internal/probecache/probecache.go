@@ -87,6 +87,8 @@ func (c *Frontier) vec(caps map[string]int64) []int64 {
 }
 
 // leq reports a ≤ b pointwise.
+//
+//vrdf:noalloc
 func leq(a, b []int64) bool {
 	for i := range a {
 		if a[i] > b[i] {
@@ -126,6 +128,10 @@ func (c *Frontier) Lookup(caps map[string]int64) (feasible, hit bool) {
 	return feasible, hit
 }
 
+// lookupLocked answers a probe vector against the two frontiers by
+// dominance. It is the per-probe hot path of the shared cache.
+//
+//vrdf:noalloc
 func (c *Frontier) lookupLocked(v []int64) (feasible, hit bool) {
 	for _, f := range c.feasible {
 		if leq(f, v) {

@@ -135,6 +135,10 @@ func (s *Store) Flush() (written int, err error) {
 		entries = append(entries, e)
 	}
 	s.mu.Unlock()
+	// Deterministic write order: a flush must touch files in the same order
+	// every run, or two flushes racing over the same directory could
+	// interleave differently run to run.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].fp < entries[j].fp })
 	if len(entries) == 0 {
 		return 0, nil
 	}

@@ -102,23 +102,11 @@ type Config struct {
 	// Quanta holds per-edge quanta sequences, keyed by edge name. Edges
 	// without an entry must have constant quanta sets on both sides.
 	Quanta map[string]EdgeQuanta
-	// Validate wraps all sequences so that a value outside the edge's
-	// declared quanta set aborts the run with a panic. Costs one set
-	// lookup per transfer.
-	Validate bool
 	// Stop is the run's completion condition; required.
 	Stop Stop
 	// MaxEvents bounds the total number of processed events as a runaway
 	// guard; 0 means the default of 50 million.
 	MaxEvents int64
-	// AllowOverrun permits Exec values beyond the actor's worst-case
-	// response time ρ — a fault-injection mode. The analyses of the
-	// paper assume every firing finishes within ρ, so the engine
-	// rejects larger values by default; with AllowOverrun a stalled
-	// firing simply finishes late, and a periodic actor whose previous
-	// firing is still running at its scheduled start underruns with a
-	// structured diagnostic.
-	AllowOverrun bool
 	// Context, if non-nil, cancels a Run cooperatively: the engine
 	// checks it every budgetCheckInterval events and aborts with an
 	// error satisfying errors.Is(err, budget.ErrCanceled).
@@ -145,6 +133,18 @@ type Config struct {
 	// named edges must never exceed Max (buffer pairs: data + space
 	// tokens never exceed the capacity) and no edge may go negative.
 	Invariants []TokenInvariant
+	// Validate wraps all sequences so that a value outside the edge's
+	// declared quanta set aborts the run with a panic. Costs one set
+	// lookup per transfer.
+	Validate bool
+	// AllowOverrun permits Exec values beyond the actor's worst-case
+	// response time ρ — a fault-injection mode. The analyses of the
+	// paper assume every firing finishes within ρ, so the engine
+	// rejects larger values by default; with AllowOverrun a stalled
+	// firing simply finishes late, and a periodic actor whose previous
+	// firing is still running at its scheduled start underruns with a
+	// structured diagnostic.
+	AllowOverrun bool
 	// CheckInvariants enables the per-event invariant checks; a
 	// violation aborts the run with an error. Costs one pass over the
 	// invariants per event.
@@ -359,8 +359,8 @@ type edgeState struct {
 	// enabling check that failed must still fail.
 	minShortfall int64
 	record       bool
-	recs         []TransferRec
 	recordOcc    bool
+	recs         []TransferRec
 	occ          []OccupancySample
 }
 
@@ -370,6 +370,10 @@ type edgeState struct {
 const noShortfall = int64(^uint64(0) >> 1)
 
 // sample appends an occupancy sample, merging same-tick updates.
+// sample records the edge's occupancy at the given tick, coalescing
+// same-tick updates.
+//
+//vrdf:noalloc
 func (es *edgeState) sample(tick int64) {
 	if !es.recordOcc {
 		return
@@ -378,7 +382,7 @@ func (es *edgeState) sample(tick int64) {
 		es.occ[n-1].Tokens = es.tokens
 		return
 	}
-	es.occ = append(es.occ, OccupancySample{Tick: tick, Tokens: es.tokens})
+	es.occ = append(es.occ, OccupancySample{Tick: tick, Tokens: es.tokens}) //vrdf:allocok(es.occ keeps its capacity across Reset, so steady-state reruns append into retained backing)
 }
 
 type eventKind int
@@ -399,6 +403,8 @@ type event struct {
 // eventLess is the total order of the event calendar: time, then kind
 // (finishes before starts at equal time), then push order. Total because
 // seq is unique, so the pop sequence is independent of heap layout.
+//
+//vrdf:noalloc
 func eventLess(a, b event) bool {
 	if a.tick != b.tick {
 		return a.tick < b.tick
@@ -414,9 +420,11 @@ func eventLess(a, b event) bool {
 // per-push/per-pop allocation in the steady state.
 type eventHeap []event
 
+//vrdf:noalloc
 func (h *eventHeap) push(ev event) {
-	q := append(*h, ev)
+	q := append(*h, ev) //vrdf:allocok(the calendar keeps its capacity across Reset, so steady-state pushes append into retained backing)
 	i := len(q) - 1
+	//vrdf:unbudgeted(heap sift-up, O-of-log-n in the calendar size)
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !eventLess(q[i], q[parent]) {
@@ -428,6 +436,7 @@ func (h *eventHeap) push(ev event) {
 	*h = q
 }
 
+//vrdf:noalloc
 func (h *eventHeap) pop() event {
 	q := *h
 	top := q[0]
@@ -435,6 +444,7 @@ func (h *eventHeap) pop() event {
 	q[0] = q[n]
 	q = q[:n]
 	i := 0
+	//vrdf:unbudgeted(heap sift-down, O-of-log-n in the calendar size)
 	for {
 		l := 2*i + 1
 		if l >= n {
@@ -479,6 +489,7 @@ type Machine struct {
 	dirty      []int32 // ASAP actors to re-examine at the current tick
 	dirtyIn    []bool
 	ran        bool // a Run consumed the state; Reset required
+	resumed    bool // next Run resumes from a restored checkpoint
 
 	baseFirings int64   // compiled Stop.Firings; Reset reverts SetStopFirings to it
 	runTokens   []int64 // per edgeList index: initial tokens of the pending/current run
@@ -497,7 +508,6 @@ type Machine struct {
 	desScratch []int64     // ResetWarm scratch: desired tokens of the next run
 	ckptStop   int64       // Stop.Firings the checkpoints were taken under
 	ckptOffs   []int64     // per-actor offsetT the checkpoints were taken under
-	resumed    bool        // next Run resumes from a restored checkpoint
 	resumeTick int64       // tick of the restored checkpoint
 }
 
@@ -841,6 +851,7 @@ func (m *Machine) SetStopFirings(firings int64) error {
 	return nil
 }
 
+//vrdf:noalloc
 func (m *Machine) push(ev event) {
 	ev.seq = m.seq
 	m.seq++
@@ -848,16 +859,20 @@ func (m *Machine) push(ev event) {
 }
 
 // markDirty queues an ASAP actor for a start attempt at the current tick.
+//
+//vrdf:noalloc
 func (m *Machine) markDirty(idx int) {
 	if m.actors[idx].mode != ASAP || m.dirtyIn[idx] {
 		return
 	}
 	m.dirtyIn[idx] = true
-	m.dirty = append(m.dirty, int32(idx))
+	m.dirty = append(m.dirty, int32(idx)) //vrdf:allocok(m.dirty is bounded by the actor count and keeps its capacity across Reset)
 }
 
 // enabled reports whether actor a's next firing has sufficient tokens on
 // every input edge, returning the first lacking edge otherwise.
+//
+//vrdf:noalloc
 func (a *actorState) enabled() (ok bool, lacking *portRef, need int64) {
 	k := a.started
 	for i := range a.in {
@@ -918,6 +933,7 @@ func (m *Machine) start(a *actorState, t int64) error {
 // finish completes actor a's oldest running firing at tick t: produces
 // output tokens and queues the actors this may enable — the consumers of
 // the edges that received tokens, plus a itself, now free to start again.
+//vrdf:noalloc
 func (m *Machine) finish(a *actorState, t int64) {
 	k := a.finished
 	for i := range a.out {
@@ -927,6 +943,7 @@ func (m *Machine) finish(a *actorState, t int64) {
 			p.edge.tokens += n
 			p.edge.produced += n
 			if p.edge.record {
+				//vrdf:allocok(p.edge.recs keeps its capacity across Reset, so steady-state reruns append into retained backing)
 				p.edge.recs = append(p.edge.recs, TransferRec{
 					From: p.edge.produced - n + 1, To: p.edge.produced, Tick: t, Produce: true,
 				})
@@ -957,6 +974,7 @@ func (m *Machine) startDirty(t int64) error {
 		idx := m.dirty[n]
 		m.dirtyIn[idx] = false
 		a := m.actors[idx]
+		//vrdf:unbudgeted(each firing consumes tokens or advances busyUntil, so the start cascade is bounded; Run budgets the surrounding event loop)
 		for a.busyUntil <= t {
 			ok, p, need := a.enabled()
 			if !ok {

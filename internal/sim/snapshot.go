@@ -154,8 +154,9 @@ func (m *Machine) snapshotInto(s *Snapshot, tick int64, midRun bool) {
 // buffers are truncated to their snapshot lengths; their retained prefixes
 // are identical to the snapshot's time (runs only append, and the one
 // mutable element — the last occupancy sample — is restored explicitly).
+//vrdf:noalloc
 func (m *Machine) restoreFrom(s *Snapshot) {
-	m.eq = append(m.eq[:0], s.eq...)
+	m.eq = append(m.eq[:0], s.eq...) //vrdf:allocok(the calendar keeps its capacity across Reset; a snapshot never holds more events than the run that produced it)
 	m.seq = s.seq
 	m.events = s.events
 	for i, a := range m.actors {
@@ -209,6 +210,8 @@ func (m *Machine) beginCheckpoints() {
 
 // ckptKeyMatches reports whether the machine's current stop horizon and
 // periodic offsets equal those the retained checkpoints were taken under.
+//
+//vrdf:noalloc
 func (m *Machine) ckptKeyMatches() bool {
 	if m.cfg.Stop.Firings != m.ckptStop || len(m.ckptOffs) != len(m.actors) {
 		return false
@@ -245,6 +248,10 @@ func (m *Machine) takeCheckpoint(tick int64) {
 	m.ckptNext = m.events + m.ckptEvery
 }
 
+// grabSnapshot returns a checkpoint slot, reusing a retired one when the
+// free list has any.
+//
+//vrdf:noalloc
 func (m *Machine) grabSnapshot() *Snapshot {
 	if n := len(m.ckptFree); n > 0 {
 		s := m.ckptFree[n-1]
@@ -252,7 +259,7 @@ func (m *Machine) grabSnapshot() *Snapshot {
 		m.ckptFree = m.ckptFree[:n-1]
 		return s
 	}
-	return &Snapshot{}
+	return &Snapshot{} //vrdf:allocok(cold path: runs only until the checkpoint slots fill once, then every grab reuses the free list)
 }
 
 // dropCheckpoints retires the checkpoints from index from onward into the
@@ -347,6 +354,7 @@ func (m *Machine) ckptValidFor(s *Snapshot, des []int64) bool {
 // transfer sequence, so every occupancy value on a changed edge differs by
 // exactly the initial-token delta), adjusts the retained older checkpoints
 // the same way, and arms Run to resume. Returns the events skipped.
+//vrdf:noalloc
 func (m *Machine) restoreWarm(j int, des []int64) int64 {
 	s := m.ckpts[j]
 	m.restoreFrom(s)

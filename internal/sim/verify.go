@@ -173,8 +173,6 @@ type VerifyOptions struct {
 	// Workloads supplies buffer quanta; buffers with variable quanta
 	// and no workload entry are an error.
 	Workloads Workloads
-	// Validate enables per-transfer quanta-set checking.
-	Validate bool
 	// MaxEvents caps each phase (0 = engine default).
 	MaxEvents int64
 	// RecordTransfers is passed through to both phases.
@@ -199,6 +197,8 @@ type VerifyOptions struct {
 	// beyond ρ are simulated as late finishes instead of rejected —
 	// fault injection for measuring how much overrun a sizing absorbs.
 	AllowOverrun bool
+	// Validate enables per-transfer quanta-set checking.
+	Validate bool
 	// Context, if non-nil, cancels the verification cooperatively (see
 	// Config.Context); the typed error satisfies budget.ErrCanceled.
 	Context context.Context
@@ -429,11 +429,13 @@ func (vf *Verifier) Verify(caps map[string]int64) (*Verification, error) {
 	for _, slack := range []int64{0, 1, 10, 100} {
 		offsetTicks = append(offsetTicks, base+slack*vf.periodTicks)
 	}
+	//vrdf:unbudgeted(at most len fixedOffsets plus four attempts; each Run enforces the machine budget)
 	for _, ot := range offsetTicks {
 		v.Attempts++
 		v.OffsetTicks = ot
 		v.Offset = vf.selfTimed.Base().Rat(ot)
 
+		//vrdf:reuseok(the override is deliberately committed to the resumed run by ResetWarm below; Verify re-points it on every attempt)
 		if err := vf.periodic.SetPeriodicOffsetTicks(vf.c.Task, ot); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,70 @@
+package vrdfcap_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vrdfcap"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestWriteDegradationGolden pins the exact rendering of the degradation
+// report — column alignment, verdict spelling, and both slack summaries —
+// against golden files. Run with -update to regenerate after a deliberate
+// format change.
+func TestWriteDegradationGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		curve *vrdfcap.DegradationCurve
+	}{
+		{
+			// Every point passes: the summary reports the slack as a lower
+			// bound at the last factor swept.
+			name: "all_pass",
+			curve: &vrdfcap.DegradationCurve{Points: []vrdfcap.DegradationPoint{
+				{Factor: vrdfcap.Rat(1, 1), OK: true},
+				{Factor: vrdfcap.Rat(11, 10), OK: true},
+				{Factor: vrdfcap.Rat(6, 5), OK: true},
+			}},
+		},
+		{
+			// Degradation at the third factor: the table carries the failure
+			// reason and the summary names the first failing factor with the
+			// slack of the passing prefix.
+			name: "first_failure",
+			curve: &vrdfcap.DegradationCurve{Points: []vrdfcap.DegradationPoint{
+				{Factor: vrdfcap.Rat(1, 1), OK: true},
+				{Factor: vrdfcap.Rat(5, 4), OK: true},
+				{Factor: vrdfcap.Rat(3, 2), OK: false, Reason: "periodic phase underrun: task sink firing 7"},
+				{Factor: vrdfcap.Rat(7, 4), OK: false, Reason: "periodic phase underrun: task sink firing 2"},
+			}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := vrdfcap.WriteDegradation(&buf, tc.curve); err != nil {
+				t.Fatalf("WriteDegradation: %v", err)
+			}
+			golden := filepath.Join("testdata", "degradation_"+tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatalf("writing golden file: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("report drifted from %s (regenerate with -update if deliberate)\n--- got ---\n%s--- want ---\n%s",
+					golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
