@@ -4,7 +4,9 @@
 // appears in the checked-in baseline (BENCH_sim.json):
 //
 //   - allocs/op may not regress by more than -alloc-tolerance percent
-//     (default 10) over the baseline's allocs_per_op;
+//     (default 10) over the baseline's allocs_per_op; a baseline of exactly
+//     0 is a zero-tolerance gate — the first heap allocation on an
+//     annotated zero-alloc path fails CI, whatever the tolerance;
 //   - probes_sim may not increase at all — a probe answered by the
 //     feasibility cache that starts simulating again is a correctness-class
 //     regression of the caching layer, not noise;
@@ -55,9 +57,10 @@ type sample struct {
 }
 
 // baselineEntry is the subset of a BENCH_sim.json benchmark record the gate
-// reads. Absent fields decode to the negative sentinels.
+// reads. Absent fields decode to nil and are not gated; a present
+// allocs_per_op of 0 gates at exactly zero.
 type baselineEntry struct {
-	AllocsPerOp    int64    `json:"allocs_per_op"`
+	AllocsPerOp    *int64   `json:"allocs_per_op"`
 	ProbesSim      *float64 `json:"probes_sim"`
 	EventsPerProbe *float64 `json:"events_per_probe"`
 }
@@ -128,12 +131,20 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 			continue
 		}
 		status := "ok"
-		if b.AllocsPerOp > 0 && s.allocsOp >= 0 {
-			limit := float64(b.AllocsPerOp) * (1 + *tolerance/100)
+		if b.AllocsPerOp != nil && s.allocsOp >= 0 {
+			// A zero baseline means a zero limit: the tolerance is
+			// multiplicative, so an annotated zero-alloc path fails on its
+			// first allocation.
+			limit := float64(*b.AllocsPerOp) * (1 + *tolerance/100)
 			if float64(s.allocsOp) > limit {
 				status = "FAIL"
-				failures = append(failures, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %g%%",
-					name, s.allocsOp, b.AllocsPerOp, *tolerance))
+				if *b.AllocsPerOp == 0 {
+					failures = append(failures, fmt.Sprintf("%s: allocs/op %d but the baseline requires zero (zero-tolerance gate)",
+						name, s.allocsOp))
+				} else {
+					failures = append(failures, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %g%%",
+						name, s.allocsOp, *b.AllocsPerOp, *tolerance))
+				}
 			}
 		}
 		if b.ProbesSim != nil && s.probesSim >= 0 && s.probesSim > *b.ProbesSim {
@@ -146,7 +157,11 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 			failures = append(failures, fmt.Sprintf("%s: events_per_probe %g exceeds baseline %g (any increase fails)",
 				name, s.eventsPerProbe, *b.EventsPerProbe))
 		}
-		fmt.Fprintf(out, "%-40s %s  allocs/op %d (baseline %d)", name, status, s.allocsOp, b.AllocsPerOp)
+		baseAllocs := "-"
+		if b.AllocsPerOp != nil {
+			baseAllocs = strconv.FormatInt(*b.AllocsPerOp, 10)
+		}
+		fmt.Fprintf(out, "%-40s %s  allocs/op %d (baseline %s)", name, status, s.allocsOp, baseAllocs)
 		if b.ProbesSim != nil {
 			fmt.Fprintf(out, "  probes_sim %g (baseline %g)", s.probesSim, *b.ProbesSim)
 		}

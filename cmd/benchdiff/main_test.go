@@ -77,6 +77,31 @@ BenchmarkReusedMachineRun-8   	20000	52000 ns/op	48 B/op	1 allocs/op
 	}
 }
 
+func TestZeroAllocBaselineIsZeroTolerance(t *testing.T) {
+	base := writeBaseline(t, `{"benchmarks": {"BenchmarkServeCacheHit": {"ns_per_op": 383, "allocs_per_op": 0}}}`)
+	// A single allocation fails, whatever the percentage tolerance: 0 times
+	// any multiplier is still 0.
+	input := "BenchmarkServeCacheHit-8   \t3000000\t390 ns/op\t16 B/op\t1 allocs/op\n"
+	_, err := runDiff(t, base, input, "-alloc-tolerance", "1000")
+	if err == nil || !strings.Contains(err.Error(), "baseline requires zero") {
+		t.Fatalf("expected zero-tolerance failure, got %v", err)
+	}
+	input = "BenchmarkServeCacheHit-8   \t3000000\t390 ns/op\t0 B/op\t0 allocs/op\n"
+	if out, err := runDiff(t, base, input); err != nil {
+		t.Fatalf("zero allocs against a zero baseline must pass: %v\n%s", err, out)
+	}
+}
+
+func TestAbsentAllocBaselineNotGated(t *testing.T) {
+	// No allocs_per_op field at all: the benchmark is tracked for probes
+	// only, so allocations do not gate.
+	base := writeBaseline(t, `{"benchmarks": {"BenchmarkX": {"probes_sim": 12}}}`)
+	input := "BenchmarkX-8   \t100\t100 ns/op\t999999 B/op\t99999 allocs/op\t12.00 probes_sim\n"
+	if out, err := runDiff(t, base, input); err != nil {
+		t.Fatalf("absent allocs_per_op must not gate: %v\n%s", err, out)
+	}
+}
+
 func TestAnyProbeIncreaseFails(t *testing.T) {
 	base := writeBaseline(t, testBaseline)
 	// Allocs fine, but one extra simulated probe — even under 10% — fails.

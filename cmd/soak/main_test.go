@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/probecache"
+	"vrdfcap/internal/serve"
+)
+
+// TestSoakAgainstInProcessServer drives a short soak at a real serve.Server
+// and checks the report plus the success gate.
+func TestSoakAgainstInProcessServer(t *testing.T) {
+	s := serve.New(serve.Config{Store: probecache.NewStore(""), Firings: 200})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-duration", "300ms",
+		"-concurrency", "4",
+		"-problems", "2",
+		"-variants", "4",
+		"-min-rps", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"req/s", "0 errors", "p50=", "p99=", "sim_events+"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	// The mix must actually exercise the warm path: more requests than
+	// computed problems.
+	if st := s.StatsSnapshot(); st.CacheHits == 0 || st.Computes == 0 {
+		t.Errorf("soak mix never hit both paths: %+v", st)
+	}
+}
+
+func TestSoakGates(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -addr accepted")
+	}
+	// An unreachable server must fail the run, not report success.
+	err := run([]string{"-addr", "http://127.0.0.1:1", "-duration", "50ms", "-concurrency", "1"}, &out)
+	if err == nil {
+		t.Error("soak against an unreachable server succeeded")
+	}
+}

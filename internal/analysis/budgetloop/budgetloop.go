@@ -4,9 +4,10 @@
 // to walk away from a 50M-event simulation; this analyzer keeps new loops
 // from quietly opting out.
 //
-// Scope: non-test files of the packages minimize, capacity, exact and sim
-// (matched by final import-path element). Two loop shapes are
-// budget-relevant:
+// Scope: non-test files of the packages minimize, capacity, exact, sim and
+// serve (matched by final import-path element) — serve joined when the
+// service grew accept/drain loops that must stop with the server's base
+// context. Two loop shapes are budget-relevant:
 //
 //   - condition-only and infinite `for` statements (`for {`, `for lo < hi {`)
 //     — the shape of every event loop, binary search and coordinate descent
@@ -35,12 +36,12 @@ import (
 // Analyzer is the budgetloop analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "budgetloop",
-	Doc:  "check that unbounded search loops in minimize/capacity/exact/sim consult a budget or context (or carry a //vrdf:unbudgeted(reason) waiver)",
+	Doc:  "check that unbounded search loops in minimize/capacity/exact/sim/serve consult a budget or context (or carry a //vrdf:unbudgeted(reason) waiver)",
 	Run:  run,
 }
 
 // packages whose loops are checked.
-var corePackages = []string{"minimize", "capacity", "exact", "sim"}
+var corePackages = []string{"minimize", "capacity", "exact", "sim", "serve"}
 
 // probeCall matches direct callee names that imply per-iteration
 // simulation work inside a range loop.

@@ -1,0 +1,42 @@
+// Package serve exercises the analyzer over the service package's loop
+// shapes: worker accept loops must select on a context's Done channel, and
+// bounded ring drains carry waivers.
+package serve
+
+import "context"
+
+type job func()
+
+// --- allowed: the accept loop selects on ctx.Done ---
+
+func worker(ctx context.Context, jobs chan job) {
+	for { // ok: selects on the context's Done channel
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-jobs:
+			j()
+		}
+	}
+}
+
+// --- flagged: an accept loop that can never be stopped ---
+
+func deafWorker(jobs chan job) {
+	for { // want `unbudgeted loop: the body never consults a budget or context`
+		j := <-jobs
+		j()
+	}
+}
+
+// --- waived: draining a bounded ring ---
+
+type ring struct{ n int }
+
+func (r *ring) pop() bool { r.n--; return r.n > 0 }
+
+func drain(r *ring) {
+	//vrdf:unbudgeted(drains a bounded ring; producers drop instead of refilling it)
+	for r.pop() { // ok: waived with a reason
+	}
+}

@@ -45,3 +45,47 @@ func FuzzDecodeAny(f *testing.F) {
 		_, _, _ = DecodeAny(data) // must not panic
 	})
 }
+
+// FuzzDecodeAnyLimited checks the DoS guards: under tight limits no
+// accepted document may exceed them, rejection must be typed, and the
+// parser must never panic. The seeds sit on both sides of every limit —
+// the service's request-body defence depends on these paths.
+func FuzzDecodeAnyLimited(f *testing.F) {
+	// At the task limit (ok) and one over (limit error).
+	f.Add([]byte("task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod 1 cons 1"))
+	f.Add([]byte("task a wcrt 1\ntask b wcrt 1\ntask c wcrt 1\ntask d wcrt 1\ntask e wcrt 1"))
+	// Quanta set at the limit and one over.
+	f.Add([]byte("task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod {1,2,3,4} cons 1"))
+	f.Add([]byte("task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod {1,2,3,4,5} cons 1"))
+	// Ranges: at the limit, one over, and the astronomically wide attack.
+	f.Add([]byte("task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod 1..4 cons 1"))
+	f.Add([]byte("task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod 0..9223372036854775806 cons 1"))
+	f.Add([]byte("task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod -9223372036854775808..9223372036854775807 cons 1"))
+	// JSON side of the same guards.
+	f.Add([]byte(`{"tasks":[{"name":"a","wcrt":"1"},{"name":"b","wcrt":"1"}],"buffers":[{"producer":"a","consumer":"b","prod":[1,2,3,4,5],"cons":[1]}]}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","wcrt":"1"},{"name":"b","wcrt":"1"},{"name":"c","wcrt":"1"},{"name":"d","wcrt":"1"},{"name":"e","wcrt":"1"}],"buffers":[]}`))
+	limits := Limits{MaxBytes: 512, MaxTasks: 4, MaxBuffers: 4, MaxQuanta: 4}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, _, err := DecodeAnyLimited(data, limits)
+		if err != nil {
+			return // rejected is fine (typed or syntactic); panics are not
+		}
+		if len(data) > limits.MaxBytes {
+			t.Fatalf("accepted %d input bytes over the %d limit", len(data), limits.MaxBytes)
+		}
+		if n := len(g.Tasks()); n > limits.MaxTasks {
+			t.Fatalf("accepted %d tasks over the %d limit", n, limits.MaxTasks)
+		}
+		if n := len(g.Buffers()); n > limits.MaxBuffers {
+			t.Fatalf("accepted %d buffers over the %d limit", n, limits.MaxBuffers)
+		}
+		for _, b := range g.Buffers() {
+			if n := len(b.Prod.Values()); n > limits.MaxQuanta {
+				t.Fatalf("accepted a %d-value prod quanta set over the %d limit", n, limits.MaxQuanta)
+			}
+			if n := len(b.Cons.Values()); n > limits.MaxQuanta {
+				t.Fatalf("accepted a %d-value cons quanta set over the %d limit", n, limits.MaxQuanta)
+			}
+		}
+	})
+}

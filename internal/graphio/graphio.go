@@ -15,10 +15,12 @@
 package graphio
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/taskgraph"
@@ -55,11 +57,26 @@ type Document struct {
 	Tasks      []TaskJSON      `json:"tasks"`
 	Buffers    []BufferJSON    `json:"buffers"`
 	Constraint *ConstraintJSON `json:"constraint,omitempty"`
+
+	// constraint is the backing value Constraint points at when fill sets
+	// one, so a pooled Document reuses it instead of allocating per call.
+	constraint ConstraintJSON
 }
 
 // FromGraph builds a Document from a graph and optional constraint.
 func FromGraph(g *taskgraph.Graph, c *taskgraph.Constraint) *Document {
 	doc := &Document{}
+	doc.fill(g, c)
+	return doc
+}
+
+// fill populates the document in place, reusing the capacity of its task
+// and buffer slices so a pooled Document pays no slice growth in steady
+// state.
+func (doc *Document) fill(g *taskgraph.Graph, c *taskgraph.Constraint) {
+	doc.Tasks = doc.Tasks[:0]
+	doc.Buffers = doc.Buffers[:0]
+	doc.Constraint = nil
 	for _, t := range g.Tasks() {
 		doc.Tasks = append(doc.Tasks, TaskJSON{Name: t.Name, WCRT: t.WCRT})
 	}
@@ -75,14 +92,34 @@ func FromGraph(g *taskgraph.Graph, c *taskgraph.Constraint) *Document {
 		})
 	}
 	if c != nil {
-		doc.Constraint = &ConstraintJSON{Task: c.Task, Period: c.Period}
+		doc.constraint = ConstraintJSON{Task: c.Task, Period: c.Period}
+		doc.Constraint = &doc.constraint
 	}
-	return doc
 }
 
 // ToGraph reconstructs the graph (and constraint, if present) from a
 // Document.
 func (doc *Document) ToGraph() (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	return doc.toGraph(Limits{})
+}
+
+// toGraph reconstructs the graph, enforcing the structural limits before
+// any quanta set is materialised.
+func (doc *Document) toGraph(l Limits) (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	if err := l.checkTasks(len(doc.Tasks)); err != nil {
+		return nil, nil, err
+	}
+	if err := l.checkBuffers(len(doc.Buffers)); err != nil {
+		return nil, nil, err
+	}
+	for _, b := range doc.Buffers {
+		if err := l.checkQuanta(len(b.Prod)); err != nil {
+			return nil, nil, fmt.Errorf("graphio: buffer %s->%s prod: %w", b.Producer, b.Consumer, err)
+		}
+		if err := l.checkQuanta(len(b.Cons)); err != nil {
+			return nil, nil, fmt.Errorf("graphio: buffer %s->%s cons: %w", b.Producer, b.Consumer, err)
+		}
+	}
 	g := taskgraph.New()
 	for _, t := range doc.Tasks {
 		if _, err := g.AddTask(t.Name, t.WCRT); err != nil {
@@ -121,18 +158,56 @@ func (doc *Document) ToGraph() (*taskgraph.Graph, *taskgraph.Constraint, error) 
 	return g, c, nil
 }
 
+// encState bundles the per-encode scratch — the document, the output
+// buffer and the indenting JSON encoder wired to it — so one pool hit
+// covers all three.
+type encState struct {
+	doc Document
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	s := &encState{}
+	s.enc = json.NewEncoder(&s.buf)
+	s.enc.SetIndent("", "  ")
+	return s
+}}
+
 // Encode serialises a graph (and optional constraint) to indented JSON.
+// The result is byte-identical to json.MarshalIndent of FromGraph; the
+// scratch document, buffer and encoder are pooled, so the only allocation
+// retained per call is the returned slice.
 func Encode(g *taskgraph.Graph, c *taskgraph.Constraint) ([]byte, error) {
-	return json.MarshalIndent(FromGraph(g, c), "", "  ")
+	s := encPool.Get().(*encState)
+	defer encPool.Put(s)
+	s.buf.Reset()
+	s.doc.fill(g, c)
+	if err := s.enc.Encode(&s.doc); err != nil {
+		return nil, err
+	}
+	// The stream encoder appends a newline MarshalIndent does not.
+	out := s.buf.Bytes()
+	out = bytes.TrimSuffix(out, []byte{'\n'})
+	return append([]byte(nil), out...), nil
 }
 
 // Decode parses JSON into a graph and optional constraint.
 func Decode(data []byte) (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	return decodeJSON(data, Limits{})
+}
+
+// decodeJSON parses JSON under the limits. The raw size check runs before
+// json.Unmarshal so an oversized document is rejected without parsing.
+func decodeJSON(data []byte, l Limits) (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	if err := l.checkBytes(len(data)); err != nil {
+		return nil, nil, err
+	}
 	var doc Document
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, nil, fmt.Errorf("graphio: %w", err)
 	}
-	return doc.ToGraph()
+	return doc.toGraph(l)
 }
 
 // WriteDOT renders a task graph in Graphviz DOT: tasks as boxes annotated

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/taskgraph"
@@ -25,6 +26,16 @@ import (
 
 // DecodeText parses the text format into a graph and optional constraint.
 func DecodeText(data []byte) (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	return decodeText(data, Limits{})
+}
+
+// decodeText parses the text format under the limits. Counts are checked
+// incrementally as declarations parse (the document is rejected at the
+// first excess line) and quanta ranges are width-checked before expansion.
+func decodeText(data []byte, l Limits) (*taskgraph.Graph, *taskgraph.Constraint, error) {
+	if err := l.checkBytes(len(data)); err != nil {
+		return nil, nil, err
+	}
 	g := taskgraph.New()
 	var con *taskgraph.Constraint
 	sc := bufio.NewScanner(bytes.NewReader(data))
@@ -48,6 +59,9 @@ func DecodeText(data []byte) (*taskgraph.Graph, *taskgraph.Constraint, error) {
 			if len(fields) != 4 || fields[2] != "wcrt" {
 				return nil, nil, fail("expected 'task <name> wcrt <time>', got %q", line)
 			}
+			if err := l.checkTasks(len(g.Tasks()) + 1); err != nil {
+				return nil, nil, err
+			}
 			wcrt, err := ratio.Parse(fields[3])
 			if err != nil {
 				return nil, nil, fail("bad wcrt: %v", err)
@@ -60,12 +74,21 @@ func DecodeText(data []byte) (*taskgraph.Graph, *taskgraph.Constraint, error) {
 			if len(fields) < 8 || fields[2] != "->" || fields[4] != "prod" || fields[6] != "cons" {
 				return nil, nil, fail("expected 'buffer <producer> -> <consumer> prod <quanta> cons <quanta> [cap n] [bytes n]', got %q", line)
 			}
-			prod, err := parseQuanta(fields[5])
+			if err := l.checkBuffers(len(g.Buffers()) + 1); err != nil {
+				return nil, nil, err
+			}
+			prod, err := parseQuantaLimited(fields[5], l)
 			if err != nil {
+				if IsLimit(err) {
+					return nil, nil, err
+				}
 				return nil, nil, fail("bad production quanta: %v", err)
 			}
-			cons, err := parseQuanta(fields[7])
+			cons, err := parseQuantaLimited(fields[7], l)
 			if err != nil {
+				if IsLimit(err) {
+					return nil, nil, err
+				}
 				return nil, nil, fail("bad consumption quanta: %v", err)
 			}
 			buf := taskgraph.Buffer{
@@ -124,33 +147,49 @@ func DecodeText(data []byte) (*taskgraph.Graph, *taskgraph.Constraint, error) {
 	return g, con, nil
 }
 
+var textBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // EncodeText renders a graph (and optional constraint) in the text format.
+// The scratch buffer is pooled; the returned slice is the only retained
+// allocation.
 func EncodeText(g *taskgraph.Graph, c *taskgraph.Constraint) []byte {
-	var b strings.Builder
+	b := textBufPool.Get().(*bytes.Buffer)
+	defer textBufPool.Put(b)
+	b.Reset()
 	for _, t := range g.Tasks() {
-		fmt.Fprintf(&b, "task %s wcrt %s\n", t.Name, t.WCRT)
+		fmt.Fprintf(b, "task %s wcrt %s\n", t.Name, t.WCRT)
 	}
 	for _, buf := range g.Buffers() {
-		fmt.Fprintf(&b, "buffer %s -> %s prod %s cons %s",
+		fmt.Fprintf(b, "buffer %s -> %s prod %s cons %s",
 			buf.Producer, buf.Consumer, formatQuanta(buf.Prod), formatQuanta(buf.Cons))
 		if buf.Capacity > 0 {
-			fmt.Fprintf(&b, " cap %d", buf.Capacity)
+			fmt.Fprintf(b, " cap %d", buf.Capacity)
 		}
 		if buf.ContainerBytes > 0 {
-			fmt.Fprintf(&b, " bytes %d", buf.ContainerBytes)
+			fmt.Fprintf(b, " bytes %d", buf.ContainerBytes)
 		}
 		b.WriteByte('\n')
 	}
 	if c != nil {
-		fmt.Fprintf(&b, "constraint %s period %s\n", c.Task, c.Period)
+		fmt.Fprintf(b, "constraint %s period %s\n", c.Task, c.Period)
 	}
-	return []byte(b.String())
+	return append([]byte(nil), b.Bytes()...)
 }
 
 // parseQuanta accepts "7", "{2,3}" or "96..99".
 func parseQuanta(s string) (taskgraph.QuantaSet, error) {
+	return parseQuantaLimited(s, Limits{})
+}
+
+// parseQuantaLimited parses one quanta token, checking the set size limit
+// before the values are materialised — in particular before a lo..hi range
+// is expanded, so a tiny document cannot demand a huge allocation.
+func parseQuantaLimited(s string, l Limits) (taskgraph.QuantaSet, error) {
 	if strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}") {
 		parts := strings.Split(s[1:len(s)-1], ",")
+		if err := l.checkQuanta(len(parts)); err != nil {
+			return taskgraph.QuantaSet{}, err
+		}
 		vals := make([]int64, 0, len(parts))
 		for _, p := range parts {
 			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
@@ -170,6 +209,13 @@ func parseQuanta(s string) (taskgraph.QuantaSet, error) {
 		if err != nil {
 			return taskgraph.QuantaSet{}, fmt.Errorf("bad range end %q", s[i+2:])
 		}
+		if l.MaxQuanta > 0 && hi >= lo {
+			// Width-minus-one in uint64: hi-lo never overflows there, while
+			// the full width of MinInt64..MaxInt64 (2^64) would wrap to 0.
+			if wm1 := uint64(hi) - uint64(lo); wm1 >= uint64(l.MaxQuanta) {
+				return taskgraph.QuantaSet{}, &LimitError{What: "quanta set values", Limit: l.MaxQuanta, Got: clampWidth(wm1)}
+			}
+		}
 		return taskgraph.Range(lo, hi)
 	}
 	v, err := strconv.ParseInt(s, 10, 64)
@@ -177,6 +223,17 @@ func parseQuanta(s string) (taskgraph.QuantaSet, error) {
 		return taskgraph.QuantaSet{}, fmt.Errorf("bad quantum %q", s)
 	}
 	return taskgraph.NewQuantaSet(v)
+}
+
+// clampWidth narrows a range's width-minus-one to the full width as an int
+// for reporting, saturating at MaxInt (the width of MinInt64..MaxInt64 is
+// 2^64 and fits nowhere).
+func clampWidth(wm1 uint64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if wm1 >= uint64(maxInt) {
+		return maxInt
+	}
+	return int(wm1) + 1
 }
 
 // formatQuanta renders a set in the text syntax (single value or {...};

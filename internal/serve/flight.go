@@ -1,0 +1,54 @@
+package serve
+
+import "sync"
+
+// flightCall is one in-flight computation. The leader fills entry/err and
+// closes done; every waiter blocks on done (or its own request context).
+type flightCall struct {
+	done  chan struct{}
+	entry *respEntry
+	err   error
+}
+
+// flightGroup coalesces concurrent requests for the same problem into one
+// computation. Keys are canonical problem fingerprints
+// (probecache.GraphKey over the parsed graph plus every parameter that
+// co-determines the answer), NOT raw request bytes — two documents that
+// differ only in comments or field order coalesce onto the same flight.
+//
+// Unlike the response cache, a flight exists only while its computation
+// runs: finish removes the key before publishing the result, so a later
+// request re-computes (or, normally, hits the response cache).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// join returns the flight for key, creating it when none is running.
+// leader is true for the caller that must run the computation and finish
+// the flight.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and releases the key. Removal
+// happens before the result is visible so no waiter can join a completed
+// flight.
+func (g *flightGroup) finish(key string, c *flightCall, e *respEntry, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.entry, c.err = e, err
+	close(c.done)
+}

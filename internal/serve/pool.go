@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errBusy reports a full worker queue; the request is rejected with 503
+// rather than queued unboundedly — the service's overload behaviour is
+// "shed early", never "buffer until the deadline kills everything".
+var errBusy = errors.New("serve: all workers busy and the queue is full")
+
+// workerPool runs analysis jobs on a bounded number of goroutines with a
+// bounded queue. Submission is non-blocking: a full queue returns errBusy
+// immediately so the caller can shed load.
+type workerPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// newWorkerPool starts workers goroutines that drain the queue until ctx
+// is cancelled.
+func newWorkerPool(ctx context.Context, workers, queue int) *workerPool {
+	p := &workerPool{jobs: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(ctx)
+	}
+	return p
+}
+
+func (p *workerPool) worker(ctx context.Context) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-p.jobs:
+			job()
+		}
+	}
+}
+
+// submit enqueues a job or reports errBusy; it never blocks.
+func (p *workerPool) submit(job func()) error {
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return errBusy
+	}
+}
+
+// wait blocks until every worker has exited (after the pool's context is
+// cancelled). Jobs still queued at cancellation are abandoned; their
+// flights fail over the server's base context instead.
+func (p *workerPool) wait() { p.wg.Wait() }

@@ -1,0 +1,77 @@
+package serve
+
+import "sync"
+
+// respEntry is one fully rendered response: status code plus the exact
+// bytes written. Entries are immutable after insertion, so a single entry
+// may be shared by the cache, several raw-key aliases and any number of
+// concurrent writers.
+type respEntry struct {
+	status int
+	body   []byte
+}
+
+// respCache maps the raw-request fingerprint (sha256 of method, path,
+// query and body) to a rendered response. The [32]byte array key keeps the
+// lookup allocation-free — hashing the request and indexing the map both
+// work on stack values — which is what makes the steady-state cache-hit
+// path zero-alloc.
+//
+// Bounded by FIFO eviction: the cache holds at most max entries and evicts
+// the oldest insertion. FIFO (rather than LRU) keeps the hit path
+// read-only, so concurrent hits share an RLock and never contend on
+// recency bookkeeping.
+type respCache struct {
+	mu      sync.RWMutex
+	max     int
+	entries map[[32]byte]*respEntry
+	fifo    [][32]byte // insertion order, a circular buffer once full
+	next    int        // fifo slot the next insertion overwrites
+}
+
+func newRespCache(max int) *respCache {
+	return &respCache{
+		max:     max,
+		entries: make(map[[32]byte]*respEntry, max),
+		fifo:    make([][32]byte, 0, max),
+	}
+}
+
+// get returns the cached response for a raw-request key. It is the
+// zero-alloc hot path: an RLock, one map probe on an array key, an
+// RUnlock.
+//
+//vrdf:noalloc
+func (c *respCache) get(key *[32]byte) (*respEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[*key]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+// put inserts a rendered response, evicting the oldest entry when full.
+// Re-inserting an existing key refreshes the value without growing the
+// cache (the stale FIFO slot evicts a key that is simply absent).
+func (c *respCache) put(key *[32]byte, e *respEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[*key]; ok {
+		c.entries[*key] = e
+		return
+	}
+	if len(c.fifo) < c.max {
+		c.fifo = append(c.fifo, *key)
+	} else {
+		delete(c.entries, c.fifo[c.next])
+		c.fifo[c.next] = *key
+		c.next = (c.next + 1) % c.max
+	}
+	c.entries[*key] = e
+}
+
+// len returns the number of cached responses.
+func (c *respCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

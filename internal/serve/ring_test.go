@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingSingleThreaded pins the slot protocol: fill, drain, refill
+// across the wrap-around boundary.
+func TestRingSingleThreaded(t *testing.T) {
+	r := newRing(4)
+	var e logEntry
+	if r.pop(&e) {
+		t.Fatal("pop from an empty ring succeeded")
+	}
+	for lap := 0; lap < 3; lap++ {
+		for i := int64(0); i < 4; i++ {
+			if !r.put(&logEntry{when: i, dur: i}) {
+				t.Fatalf("lap %d: put %d into a non-full ring failed", lap, i)
+			}
+		}
+		if r.put(&logEntry{when: 99}) {
+			t.Fatalf("lap %d: put into a full ring succeeded", lap)
+		}
+		for i := int64(0); i < 4; i++ {
+			if !r.pop(&e) {
+				t.Fatalf("lap %d: pop %d from a non-empty ring failed", lap, i)
+			}
+			if e.when != i || e.dur != i {
+				t.Fatalf("lap %d: popped %+v, want when=dur=%d", lap, e, i)
+			}
+		}
+	}
+	if got := r.dropped.Load(); got != 3 {
+		t.Fatalf("dropped = %d, want 3 (one per lap)", got)
+	}
+}
+
+// TestRingConcurrent hammers the ring from many producers under one
+// consumer and checks conservation (puts == pops + drops) and integrity
+// (no torn entries: every popped entry satisfies the producer's
+// invariant).
+func TestRingConcurrent(t *testing.T) {
+	const producers = 8
+	const perProducer = 5000
+	r := newRing(64)
+
+	var wg sync.WaitGroup
+	var produced [producers]int64 // successful puts per producer
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := int64(p*perProducer + i)
+				e := logEntry{when: v, dur: v ^ 0x5a5a, status: int32(v % 1000)}
+				if r.put(&e) {
+					produced[p]++
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var popped int64
+	var e logEntry
+	for {
+		if r.pop(&e) {
+			popped++
+			if e.dur != e.when^0x5a5a || e.status != int32(e.when%1000) {
+				t.Errorf("torn entry: %+v", e)
+				break
+			}
+			continue
+		}
+		select {
+		case <-done:
+			// Producers are finished; drain what is left and stop.
+			for r.pop(&e) {
+				popped++
+				if e.dur != e.when^0x5a5a {
+					t.Errorf("torn entry after drain: %+v", e)
+				}
+			}
+			var ok int64
+			for _, n := range produced {
+				ok += n
+			}
+			if popped != ok {
+				t.Fatalf("popped %d entries, producers recorded %d successful puts", popped, ok)
+			}
+			if total := popped + int64(r.dropped.Load()); total != producers*perProducer {
+				t.Fatalf("pops(%d) + drops(%d) = %d, want %d attempts", popped, r.dropped.Load(), total, producers*perProducer)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vrdfcap/internal/probecache"
+)
+
+// pairDoc is the paper's Figure 1 pair: producer always writes 3, consumer
+// takes 2 or 3 data-dependently. Small enough that a minimize request is
+// a handful of short simulations; analytic Equation 4 capacity is 7.
+const pairDoc = `task a wcrt 1
+task b wcrt 1
+buffer a -> b prod 3 cons {2,3}
+constraint b period 3
+`
+
+// variant returns pairDoc with a comment line prepended: a textually
+// different document that parses to the identical canonical graph, so its
+// raw-request key differs but its problem fingerprint does not.
+func variant(i int) string {
+	return fmt.Sprintf("# request variant %d\n%s", i, pairDoc)
+}
+
+// newTestServer returns a started server on a private store (tests must
+// not pollute the process-wide shared store) and closes it with the test.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = probecache.NewStore("")
+	}
+	if cfg.Firings == 0 {
+		cfg.Firings = 200
+	}
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// blockCompute installs a computeHook that blocks flight leaders until the
+// returned release func runs; release is idempotent and registered as a
+// cleanup so a failing test cannot wedge Server.Close behind a blocked
+// worker.
+func blockCompute(t *testing.T, cfg *Config) (release func()) {
+	t.Helper()
+	ch := make(chan struct{})
+	var once sync.Once
+	release = func() { once.Do(func() { close(ch) }) }
+	t.Cleanup(release)
+	cfg.computeHook = func() { <-ch }
+	return release
+}
+
+func doPost(ts *httptest.Server, path, body string) (int, []byte, error) {
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	status, data, err := doPost(ts, path, body)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	return status, data
+}
+
+// TestCoalescing is the contract at the heart of the service: N concurrent
+// requests for the same problem — with textually different documents, so
+// the response cache cannot answer — run exactly one computation, and
+// every response is byte-identical, whether cold (the flight leader),
+// coalesced (a waiter), or warm (a later response-cache hit).
+func TestCoalescing(t *testing.T) {
+	const n = 8
+	var cfg Config
+	release := blockCompute(t, &cfg)
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	type reply struct {
+		status int
+		body   []byte
+		err    error
+	}
+	replies := make([]reply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body, err := doPost(ts, "/v1/minimize?firings=200", variant(i))
+			replies[i] = reply{status, body, err}
+		}(i)
+	}
+
+	// Hold the leader until every other request has coalesced onto its
+	// flight, so "exactly one computation" is deterministic, not a race.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.stats.coalesced.Load() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests coalesced", s.stats.coalesced.Load(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	wg.Wait()
+
+	for i, r := range replies {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, r.status, r.body)
+		}
+		if !bytes.Equal(r.body, replies[0].body) {
+			t.Fatalf("request %d body differs from request 0:\n%s\nvs\n%s", i, r.body, replies[0].body)
+		}
+	}
+	st := s.StatsSnapshot()
+	if st.Computes != 1 {
+		t.Fatalf("computes = %d, want exactly 1 for %d concurrent identical problems", st.Computes, n)
+	}
+	if st.Coalesced != n-1 {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, n-1)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("cacheHits = %d, want 0 (every document was textually unique)", st.CacheHits)
+	}
+
+	// Warm: repeating an exact document hits the response cache and the
+	// bytes still match.
+	status, body := post(t, ts, "/v1/minimize?firings=200", variant(0))
+	if status != http.StatusOK || !bytes.Equal(body, replies[0].body) {
+		t.Fatalf("warm repeat: status %d, body drifted:\n%s", status, body)
+	}
+	if got := s.StatsSnapshot().CacheHits; got != 1 {
+		t.Fatalf("cacheHits after warm repeat = %d, want 1", got)
+	}
+
+	// Cold again: a never-seen textual variant recomputes (the flight is
+	// gone), but the warm feasibility frontier answers every probe and the
+	// body must still be byte-identical.
+	status, body = post(t, ts, "/v1/minimize?firings=200", variant(n+1))
+	if status != http.StatusOK || !bytes.Equal(body, replies[0].body) {
+		t.Fatalf("cold recompute: status %d, body drifted:\n%s", status, body)
+	}
+	if got := s.StatsSnapshot().Computes; got != 2 {
+		t.Fatalf("computes after cold recompute = %d, want 2", got)
+	}
+}
+
+// TestMinimizeAgainstAnalytic sanity-checks the answer itself: for the
+// Figure 1 pair the analytic capacity is 7 and the empirical minimum under
+// any workload lies between the producer quantum and the analytic bound.
+func TestMinimizeAgainstAnalytic(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	status, body := post(t, ts, "/v1/minimize?firings=200&seed=7", pairDoc)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp minimizeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if !resp.Valid || len(resp.Buffers) != 1 {
+		t.Fatalf("unexpected response %+v", resp)
+	}
+	b := resp.Buffers[0]
+	if b.Analytic != 7 {
+		t.Fatalf("analytic capacity = %d, want 7 (paper Figure 1)", b.Analytic)
+	}
+	if b.Minimal < 3 || b.Minimal > b.Analytic {
+		t.Fatalf("minimal capacity = %d, want within [3, %d]", b.Minimal, b.Analytic)
+	}
+	if resp.MinimalTotal != b.Minimal || resp.AnalyticTotal != b.Analytic {
+		t.Fatalf("totals %d/%d disagree with the single buffer %+v", resp.MinimalTotal, resp.AnalyticTotal, b)
+	}
+}
+
+func TestSizeSweepDegradation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	status, body := post(t, ts, "/v1/size", pairDoc)
+	if status != http.StatusOK {
+		t.Fatalf("size: status %d: %s", status, body)
+	}
+	var size sizeResponse
+	if err := json.Unmarshal(body, &size); err != nil {
+		t.Fatal(err)
+	}
+	if !size.Valid || size.Total != 7 || len(size.Buffers) != 1 || size.Buffers[0].Capacity != 7 {
+		t.Fatalf("size response %+v, want valid total 7", size)
+	}
+
+	status, body = post(t, ts, "/v1/sweep?periods=3,4,6", pairDoc)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", status, body)
+	}
+	var sweep sweepResponse
+	if err := json.Unmarshal(body, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 3 {
+		t.Fatalf("sweep returned %d points, want 3: %s", len(sweep.Points), body)
+	}
+	for _, pt := range sweep.Points {
+		if !pt.Valid {
+			t.Fatalf("period %s unexpectedly infeasible", pt.Period)
+		}
+	}
+	// Relaxing the period must never need more capacity (monotone trade-off).
+	for i := 1; i < len(sweep.Points); i++ {
+		if sweep.Points[i].Total > sweep.Points[i-1].Total {
+			t.Fatalf("sweep not monotone: %v", sweep.Points)
+		}
+	}
+
+	status, body = post(t, ts, "/v1/degradation?max=2&firings=100", pairDoc)
+	if status != http.StatusOK {
+		t.Fatalf("degradation: status %d: %s", status, body)
+	}
+	var deg degradationResponse
+	if err := json.Unmarshal(body, &deg); err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Valid || len(deg.Points) != degradationPoints {
+		t.Fatalf("degradation response %+v, want %d points", deg, degradationPoints)
+	}
+	if !deg.Points[0].OK {
+		t.Fatalf("nominal point (factor 1) failed: %+v", deg.Points[0])
+	}
+}
+
+// TestErrorMapping pins the HTTP status for every error class.
+func TestErrorMapping(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"unknown path", "/v2/size", pairDoc, http.StatusNotFound},
+		{"bad document", "/v1/size", "task ???", http.StatusBadRequest},
+		{"no constraint", "/v1/size", "task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod 1 cons 1", http.StatusBadRequest},
+		{"bad policy", "/v1/size?policy=nope", pairDoc, http.StatusBadRequest},
+		{"sweep without periods", "/v1/sweep", pairDoc, http.StatusBadRequest},
+		{"degradation without max", "/v1/degradation", pairDoc, http.StatusBadRequest},
+		{"degradation max below 1", "/v1/degradation?max=1/2", pairDoc, http.StatusBadRequest},
+		{"firings over cap", "/v1/minimize?firings=999999999", pairDoc, http.StatusBadRequest},
+		{"quanta set over limit", "/v1/size", "task a wcrt 1\ntask b wcrt 1\nbuffer a -> b prod 0..9999999 cons 1\nconstraint b period 1", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts, tc.path, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.want, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q is not {\"error\":...}", tc.name, body)
+		}
+	}
+
+	// Oversized body → 413, rejected while reading, before parsing.
+	big := pairDoc + "# " + strings.Repeat("x", 1<<20) + "\n"
+	status, _ := post(t, ts, "/v1/size", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", status)
+	}
+
+	// GET on an analysis endpoint → 405.
+	resp, err := http.Get(ts.URL + "/v1/size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/size: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPoolShedsLoad pins the overload behaviour: with one worker and a
+// queue of one, a third distinct in-flight problem is rejected with 503
+// and a Retry-After header instead of queueing unboundedly. Distinct seeds
+// make distinct problems — comment variants would coalesce instead.
+func TestPoolShedsLoad(t *testing.T) {
+	cfg := Config{Workers: 1, Queue: 1}
+	release := blockCompute(t, &cfg)
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			status, body, err := doPost(ts, fmt.Sprintf("/v1/minimize?firings=200&seed=%d", i+1), pairDoc)
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("request %d: status %d (%s)", i, status, body)
+			}
+			errc <- err
+		}(i)
+	}
+	// Wait until the worker holds flight 1 and flight 2 sits in the queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.stats.computes.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d computes submitted", s.stats.computes.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/minimize?firings=200&seed=3", "application/json", strings.NewReader(pairDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third problem: status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 response has no Retry-After header")
+	}
+	if got := s.stats.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHealthzStatsz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(ok) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, ok)
+	}
+
+	post(t, ts, "/v1/size", pairDoc)
+	post(t, ts, "/v1/size", pairDoc) // response-cache hit
+
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests < 3 || st.CacheHits != 1 || st.Computes != 1 {
+		t.Fatalf("stats %+v, want ≥3 requests, 1 hit, 1 compute", st)
+	}
+	if st.CachedResponses != 1 {
+		t.Fatalf("cachedResponses = %d, want 1", st.CachedResponses)
+	}
+}
+
+// TestAccessLog checks that drained entries reach the writer with the
+// fixed key=value shape.
+func TestAccessLog(t *testing.T) {
+	var mu sync.Mutex
+	var logged bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return logged.Write(p)
+	})
+	s := newTestServer(t, Config{AccessLog: w, LogInterval: time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	post(t, ts, "/v1/size", pairDoc)
+	post(t, ts, "/v1/size", pairDoc)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		text := logged.String()
+		mu.Unlock()
+		if strings.Contains(text, "kind=compute") && strings.Contains(text, "kind=hit") {
+			for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+				if !strings.Contains(line, "path=size") || !strings.Contains(line, "status=200") ||
+					!strings.Contains(line, "dur_ns=") || !strings.Contains(line, "key=") {
+					t.Fatalf("malformed access-log line %q", line)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("access log never drained both kinds; got %q", text)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

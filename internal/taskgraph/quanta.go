@@ -60,7 +60,10 @@ func Range(lo, hi int64) (QuantaSet, error) {
 	if lo > hi {
 		return QuantaSet{}, fmt.Errorf("taskgraph: empty range [%d, %d]", lo, hi)
 	}
-	if hi-lo > 1<<20 {
+	// Width in uint64: hi-lo overflows int64 for ranges wider than 2^63
+	// (e.g. MinInt64..MaxInt64), which would slip past the guard and make
+	// the loop below run effectively forever.
+	if uint64(hi)-uint64(lo) > 1<<20 {
 		return QuantaSet{}, fmt.Errorf("taskgraph: range [%d, %d] too large to enumerate", lo, hi)
 	}
 	vs := make([]int64, 0, hi-lo+1)

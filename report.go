@@ -3,8 +3,27 @@ package vrdfcap
 import (
 	"fmt"
 	"io"
+	"sync"
 	"text/tabwriter"
 )
+
+// twPool recycles tabwriter.Writers across reports: a Writer retains its
+// internal cell and line buffers, so a pooled one renders a table without
+// re-growing them. Init rebinds the output and resets all state.
+var twPool = sync.Pool{New: func() any { return new(tabwriter.Writer) }}
+
+func getTabWriter(w io.Writer) *tabwriter.Writer {
+	tw := twPool.Get().(*tabwriter.Writer)
+	tw.Init(w, 2, 4, 2, ' ', 0)
+	return tw
+}
+
+// putTabWriter returns a flushed writer to the pool and drops the caller's
+// output reference by re-binding to a discard writer.
+func putTabWriter(tw *tabwriter.Writer) {
+	tw.Init(io.Discard, 2, 4, 2, ' ', 0)
+	twPool.Put(tw)
+}
 
 // WriteReport renders an analysis result as an aligned text report: the
 // constraint, the per-task schedule checks (ρ against φ), the per-buffer
@@ -15,7 +34,8 @@ func WriteReport(w io.Writer, res *Result) error {
 		return err
 	}
 
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	tw := getTabWriter(w)
+	defer putTabWriter(tw)
 	fmt.Fprintln(tw, "\ntask\tρ (WCRT)\tφ (min start distance)\tschedule")
 	for _, ck := range res.Checks {
 		status := "ok"
@@ -29,7 +49,7 @@ func WriteReport(w io.Writer, res *Result) error {
 	}
 
 	showMemory := res.TotalMemoryBytes() > 0
-	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	tw.Init(w, 2, 4, 2, ' ', 0) // flushed above; reuse for the buffer table
 	header := "\nbuffer\tμ (time/container)\teq(3) gap\teq(4) capacity\tbaseline\tselected"
 	if showMemory {
 		header += "\tmemory"
@@ -137,7 +157,8 @@ func WriteVerification(w io.Writer, v *Verification) error {
 // how far beyond the worst-case response times the sizing still sustained
 // the throughput constraint.
 func WriteDegradation(w io.Writer, curve *DegradationCurve) error {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	tw := getTabWriter(w)
+	defer putTabWriter(tw)
 	fmt.Fprintln(tw, "overrun factor\tverdict\treason")
 	for i := range curve.Points {
 		p := &curve.Points[i]

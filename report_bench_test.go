@@ -1,0 +1,46 @@
+package vrdfcap_test
+
+import (
+	"io"
+	"testing"
+
+	"vrdfcap"
+)
+
+// BenchmarkWriteReport tracks the allocation cost of rendering an analysis
+// report; the pooled tabwriters keep repeat renders from re-growing their
+// cell buffers (compare with -benchmem).
+func BenchmarkWriteReport(b *testing.B) {
+	g, err := vrdfcap.Pair("wa", vrdfcap.Rat(1, 1), "wb", vrdfcap.Rat(1, 1),
+		vrdfcap.Quanta(3), vrdfcap.Quanta(2, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := vrdfcap.Analyze(g, vrdfcap.Constraint{Task: "wb", Period: vrdfcap.Rat(3, 1)},
+		vrdfcap.PolicyEquation4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vrdfcap.WriteReport(io.Discard, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteDegradation(b *testing.B) {
+	curve := &vrdfcap.DegradationCurve{Points: []vrdfcap.DegradationPoint{
+		{Factor: vrdfcap.Rat(1, 1), OK: true},
+		{Factor: vrdfcap.Rat(5, 4), OK: true},
+		{Factor: vrdfcap.Rat(3, 2), OK: false, Reason: "periodic phase underrun: task sink firing 7"},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vrdfcap.WriteDegradation(io.Discard, curve); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
