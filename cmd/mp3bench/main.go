@@ -134,7 +134,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	store := cacheFlags.Store()
+	store, err := cacheFlags.Store()
+	if err != nil {
+		return err
+	}
 	stats := parallel.Stats{Workers: parallel.Workers(*parallelN)}
 	timer := parallel.StartTimer()
 	// reportStats flushes the verdict cache and prints the shared run

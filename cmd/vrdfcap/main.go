@@ -32,8 +32,11 @@
 //	-max-events n  cap simulated events per run (0 = engine default)
 //	-jitter q      admissible execution-time jitter in [0,1) for -verify
 //	-degradation q fault-injection sweep up to overrun factor q (> 1)
+//	-cache-backend s  verdict-store backend: dir:PATH, mem:, or
+//	               http[s]://HOST (a vrdfserve /v1/cache store, wrapped in
+//	               retries + circuit breaking with in-memory fallback)
 //	-cache-dir d   persist probe verdicts under d and warm-start from them
-//	-no-cache      disable cross-probe verdict caching (wins over -cache-dir)
+//	-no-cache      disable cross-probe verdict caching (wins over the others)
 //	-stats         print run statistics (probes, events, wall/CPU time)
 //	-cpuprofile f  write a CPU profile to f
 //	-memprofile f  write a heap profile to f on exit
@@ -134,7 +137,10 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("bad -jitter: %w", err)
 		}
 	}
-	store := cacheFlags.Store()
+	store, err := cacheFlags.Store()
+	if err != nil {
+		return err
+	}
 	stats := parallel.Stats{Workers: parallel.Workers(*parallelN)}
 	timer := parallel.StartTimer()
 	sized, res, err := vrdfcap.Size(g, *c, policy)

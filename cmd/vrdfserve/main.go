@@ -1,6 +1,9 @@
 // Command vrdfserve runs the capacity-analysis service (internal/serve)
-// behind a plain net/http server: POST graph documents to /v1/size,
+// behind a hardened net/http server: POST graph documents to /v1/size,
 // /v1/minimize, /v1/sweep or /v1/degradation; probe /healthz and /statsz.
+// The -cache-store tier is additionally served under /v1/cache/, so a
+// fleet of vrdfcap/vrdfserve replicas pointed at this process with
+// -cache-backend=http://host:port pools one feasibility frontier.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests get a drain window, the worker pool and
@@ -22,10 +25,35 @@ import (
 	"syscall"
 	"time"
 
+	"vrdfcap/internal/cachestore"
 	"vrdfcap/internal/graphio"
 	"vrdfcap/internal/probecache"
 	"vrdfcap/internal/serve"
 )
+
+// Hardened listener defaults. The service computes for up to the request
+// timeout before writing, so there is deliberately no WriteTimeout — the
+// per-computation budget (-timeout) bounds that side. The read-side
+// limits exist so an idle, trickling or header-bloating client cannot
+// pin a connection goroutine forever.
+const (
+	readHeaderTimeout = 10 * time.Second
+	readTimeout       = time.Minute
+	idleTimeout       = 2 * time.Minute
+	maxHeaderBytes    = 1 << 20
+)
+
+// newHTTPServer returns the hardened http.Server every vrdfserve
+// listener uses; a test pins the configured values.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		IdleTimeout:       idleTimeout,
+		MaxHeaderBytes:    maxHeaderBytes,
+	}
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,6 +88,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logBuffer := fs.Int("log-buffer", 1024, "access-log ring size in entries (drops, never blocks)")
 	accessLog := fs.String("access-log", "", "access-log destination: a file path, \"-\" for stderr, empty for none")
 	cacheDir := fs.String("cache-dir", "", "directory for the on-disk feasibility cache (default: in-memory)")
+	cacheBackend := fs.String("cache-backend", "",
+		"verdict-store backend for this replica's own analyses: dir:PATH, mem:, or http[s]://HOST (overrides -cache-dir)")
+	cacheStore := fs.String("cache-store", "mem:",
+		"backend SERVED to the fleet under /v1/cache/: dir:PATH or mem:; empty disables the endpoints")
+	cacheEntries := fs.Int("cache-entries", 4096, "cap on distinct fingerprints the served /v1/cache store accepts")
 	drain := fs.Duration("drain", 5*time.Second, "grace window for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,8 +116,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	store := probecache.Shared()
-	if *cacheDir != "" {
+	switch {
+	case *cacheBackend != "":
+		b, err := cachestore.Parse(*cacheBackend)
+		if err != nil {
+			return err
+		}
+		// Same resilience posture as the CLIs: a misbehaving backend
+		// demotes to the in-memory tier, never stalls a request.
+		store = probecache.NewStoreBackend(cachestore.NewResilient(b, cachestore.NewMem(), cachestore.Options{
+			Seed: uint64(os.Getpid()),
+		}))
+	case *cacheDir != "":
 		store = probecache.NewStore(*cacheDir)
+	}
+
+	var cacheTier cachestore.Backend
+	if *cacheStore != "" {
+		b, err := cachestore.Parse(*cacheStore)
+		if err != nil {
+			return fmt.Errorf("bad -cache-store: %w", err)
+		}
+		if _, ok := b.(*cachestore.HTTP); ok {
+			// Serving a remote store through this process would make it a
+			// blind proxy (and a loop hazard when pointed at itself).
+			return fmt.Errorf("bad -cache-store %q: serve a local tier (dir:PATH or mem:), not a remote one", *cacheStore)
+		}
+		cacheTier = b
 	}
 
 	s := serve.New(serve.Config{
@@ -106,6 +164,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		LogBuffer:         *logBuffer,
 		AccessLog:         logW,
 		Store:             store,
+		CacheBackend:      cacheTier,
+		MaxCacheEntries:   *cacheEntries,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -114,7 +174,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "vrdfserve listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: s}
+	hs := newHTTPServer(s)
 	served := make(chan error, 1)
 	go func() { served <- hs.Serve(ln) }()
 
@@ -139,8 +199,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	written, flushErr := store.Flush()
 	fmt.Fprintf(out, "served %d requests: %d cache hits, %d coalesced, %d computed, %d shed, %d errors, %d log drops\n",
 		st.Requests, st.CacheHits, st.Coalesced, st.Computes, st.Rejected, st.Errors, st.LogDropped)
-	if *cacheDir != "" {
-		fmt.Fprintf(out, "cache: %d verdict file(s) flushed to %s\n", written, *cacheDir)
+	if desc := store.Describe(); desc != "" {
+		fmt.Fprintf(out, "cache: %d verdict payload(s) flushed to %s\n", written, desc)
+	}
+	if st.StoreDemotions > 0 || st.StoreBreakerOpen {
+		fmt.Fprintf(out, "cache resilience: %d retries, %d demotions, breaker open=%v\n",
+			st.StoreRetries, st.StoreDemotions, st.StoreBreakerOpen)
 	}
 	if flushErr != nil {
 		return fmt.Errorf("flush cache: %w", flushErr)

@@ -86,6 +86,29 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
 
+	// The default -cache-store mem: serves the /v1/cache protocol.
+	fp := strings.Repeat("ab", 32)
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/cache/"+fp, strings.NewReader(`{"advisory":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("cache PUT: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/cache/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache GET: status %d", resp.StatusCode)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -97,7 +120,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 
 	text := out.String()
-	if !strings.Contains(text, "served ") || !strings.Contains(text, "flushed to "+cacheDir) {
+	if !strings.Contains(text, "served ") || !strings.Contains(text, "flushed to dir:"+cacheDir) {
 		t.Fatalf("final stats missing from output:\n%s", text)
 	}
 	// The minimize verdicts must have landed on disk.
@@ -120,5 +143,33 @@ func TestRunRejectsBadInvocation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-access-log", filepath.Join(t.TempDir(), "missing", "log")}, &out); err == nil {
 		t.Error("unopenable access log accepted")
+	}
+	if err := run(context.Background(), []string{"-cache-backend", "bogus"}, &out); err == nil {
+		t.Error("bad -cache-backend spec accepted")
+	}
+	if err := run(context.Background(), []string{"-cache-store", "http://elsewhere:8080"}, &out); err == nil {
+		t.Error("remote -cache-store accepted (would proxy blindly)")
+	}
+}
+
+// TestNewHTTPServerHardening pins the listener's protective limits: a
+// regression that drops one silently reopens the slow-client /
+// header-bloat exposure.
+func TestNewHTTPServerHardening(t *testing.T) {
+	hs := newHTTPServer(nil)
+	if hs.ReadHeaderTimeout != 10*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 10s", hs.ReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != time.Minute {
+		t.Errorf("ReadTimeout = %v, want 1m", hs.ReadTimeout)
+	}
+	if hs.IdleTimeout != 2*time.Minute {
+		t.Errorf("IdleTimeout = %v, want 2m", hs.IdleTimeout)
+	}
+	if hs.MaxHeaderBytes != 1<<20 {
+		t.Errorf("MaxHeaderBytes = %d, want 1 MiB", hs.MaxHeaderBytes)
+	}
+	if hs.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (computations answer within the request budget)", hs.WriteTimeout)
 	}
 }

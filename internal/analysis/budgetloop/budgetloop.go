@@ -41,7 +41,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // packages whose loops are checked.
-var corePackages = []string{"minimize", "capacity", "exact", "sim", "serve"}
+var corePackages = []string{"minimize", "capacity", "exact", "sim", "serve", "cachestore"}
 
 // probeCall matches direct callee names that imply per-iteration
 // simulation work inside a range loop.

@@ -1,0 +1,34 @@
+// Package cachestore exercises the analyzer over the backend resilience
+// package's loop shapes: a retry loop that spins until a backend answers
+// must consult the op's context, so a dead remote can never outlive the
+// caller's budget.
+package cachestore
+
+import "context"
+
+type backend interface {
+	read() ([]byte, error)
+}
+
+// --- allowed: the retry loop checks the context every attempt ---
+
+func readRetrying(ctx context.Context, b backend) ([]byte, error) {
+	for { // ok: consults ctx.Err each attempt
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if data, err := b.read(); err == nil {
+			return data, nil
+		}
+	}
+}
+
+// --- flagged: a retry loop that spins until the backend heals ---
+
+func readForever(b backend) []byte {
+	for { // want `unbudgeted loop: the body never consults a budget or context`
+		if data, err := b.read(); err == nil {
+			return data
+		}
+	}
+}

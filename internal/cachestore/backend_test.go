@@ -1,0 +1,194 @@
+package cachestore_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vrdfcap/internal/budget"
+	"vrdfcap/internal/cachestore"
+)
+
+// fp returns a canonical fingerprint (64 lowercase hex digits) derived
+// from name, so the same conformance suite exercises the dir, mem and
+// HTTP backends (the HTTP protocol only admits canonical fingerprints).
+func fp(name string) string {
+	sum := sha256.Sum256([]byte(name))
+	return hex.EncodeToString(sum[:])
+}
+
+// newHTTPBackend stands up Handler over a fresh Mem store and returns an
+// HTTP backend pointed at it.
+func newHTTPBackend(t *testing.T) cachestore.Backend {
+	t.Helper()
+	srv := httptest.NewServer(withCachePrefix(cachestore.Handler(cachestore.NewMem(), cachestore.HandlerLimits{})))
+	t.Cleanup(srv.Close)
+	b, err := cachestore.NewHTTP(srv.URL)
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+	return b
+}
+
+func TestBackendConformance(t *testing.T) {
+	backends := []struct {
+		name string
+		make func(t *testing.T) cachestore.Backend
+	}{
+		{"mem", func(t *testing.T) cachestore.Backend { return cachestore.NewMem() }},
+		{"dir", func(t *testing.T) cachestore.Backend { return cachestore.NewDir(t.TempDir()) }},
+		{"http", newHTTPBackend},
+		{"resilient", func(t *testing.T) cachestore.Backend {
+			return cachestore.NewResilient(cachestore.NewMem(), cachestore.NewMem(), cachestore.Options{})
+		}},
+	}
+	for _, tc := range backends {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.make(t)
+			ctx := context.Background()
+
+			if _, err := b.Read(ctx, fp("missing")); !errors.Is(err, cachestore.ErrNotFound) {
+				t.Fatalf("Read(missing) = %v, want ErrNotFound", err)
+			}
+			if fps, err := b.List(ctx); err != nil || len(fps) != 0 {
+				t.Fatalf("List(empty) = %v, %v, want none", fps, err)
+			}
+
+			payload := []byte(`{"k":"v"}`)
+			if err := b.Write(ctx, fp("a"), payload); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			payload[2] = 'X' // the backend must have copied
+			got, err := b.Read(ctx, fp("a"))
+			if err != nil || string(got) != `{"k":"v"}` {
+				t.Fatalf("Read = %q, %v, want stored payload", got, err)
+			}
+			got[0] = 'Y' // mutating the returned slice must not poison the store
+			if again, _ := b.Read(ctx, fp("a")); string(again) != `{"k":"v"}` {
+				t.Fatalf("Read after mutation = %q, store was poisoned", again)
+			}
+
+			if err := b.Write(ctx, fp("a"), []byte("v2")); err != nil {
+				t.Fatalf("overwrite: %v", err)
+			}
+			if got, _ := b.Read(ctx, fp("a")); string(got) != "v2" {
+				t.Fatalf("Read after overwrite = %q, want v2", got)
+			}
+
+			if err := b.Write(ctx, fp("b"), []byte("bb")); err != nil {
+				t.Fatalf("Write b: %v", err)
+			}
+			fps, err := b.List(ctx)
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			want := map[string]bool{fp("a"): true, fp("b"): true}
+			if len(fps) != 2 || !want[fps[0]] || !want[fps[1]] || fps[0] >= fps[1] {
+				t.Fatalf("List = %v, want both fingerprints sorted", fps)
+			}
+
+			if err := b.Delete(ctx, fp("a")); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if err := b.Delete(ctx, fp("a")); err != nil {
+				t.Fatalf("Delete(absent) = %v, want idempotent nil", err)
+			}
+			if _, err := b.Read(ctx, fp("a")); !errors.Is(err, cachestore.ErrNotFound) {
+				t.Fatalf("Read after delete = %v, want ErrNotFound", err)
+			}
+
+			canceled, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := b.Read(canceled, fp("b")); !errors.Is(err, budget.ErrCanceled) {
+				t.Errorf("Read(canceled ctx) = %v, want budget.ErrCanceled", err)
+			}
+			if err := b.Write(canceled, fp("c"), []byte("x")); !errors.Is(err, budget.ErrCanceled) {
+				t.Errorf("Write(canceled ctx) = %v, want budget.ErrCanceled", err)
+			}
+			if err := b.Delete(canceled, fp("b")); !errors.Is(err, budget.ErrCanceled) {
+				t.Errorf("Delete(canceled ctx) = %v, want budget.ErrCanceled", err)
+			}
+			if _, err := b.List(canceled); !errors.Is(err, budget.ErrCanceled) {
+				t.Errorf("List(canceled ctx) = %v, want budget.ErrCanceled", err)
+			}
+		})
+	}
+}
+
+func TestDirBackendLayout(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "not-yet")
+	b := cachestore.NewDir(dir)
+	ctx := context.Background()
+
+	// Reads and lists against a missing directory are misses, not errors.
+	if _, err := b.Read(ctx, fp("a")); !errors.Is(err, cachestore.ErrNotFound) {
+		t.Fatalf("Read(no dir) = %v, want ErrNotFound", err)
+	}
+	if fps, err := b.List(ctx); err != nil || len(fps) != 0 {
+		t.Fatalf("List(no dir) = %v, %v, want empty", fps, err)
+	}
+
+	// The first write creates the directory and lands <fp>.json — the
+	// same layout probecache has always used, so existing -cache-dir
+	// trees keep working.
+	if err := b.Write(ctx, fp("a"), []byte("x")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fp("a")+".json")); err != nil {
+		t.Fatalf("expected %s.json on disk: %v", fp("a"), err)
+	}
+
+	// In-flight temp files are invisible to List.
+	if err := os.WriteFile(filepath.Join(dir, fp("b")+".tmp123.json"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fps, err := b.List(ctx)
+	if err != nil || len(fps) != 1 || fps[0] != fp("a") {
+		t.Fatalf("List = %v, %v, want only %s", fps, err, fp("a"))
+	}
+
+	// Unsafe fingerprints can never touch the filesystem.
+	for _, bad := range []string{"", "../escape", "a/b", ".hidden"} {
+		if err := b.Write(ctx, bad, []byte("x")); err == nil {
+			t.Errorf("Write(%q) accepted an unsafe fingerprint", bad)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		spec string
+		want string
+		ok   bool
+	}{
+		{"dir:" + dir, "dir:" + dir, true},
+		{"mem:", "mem:", true},
+		{"mem", "mem:", true},
+		{"http://cache.example:8080", "http://cache.example:8080", true},
+		{"https://cache.example", "https://cache.example", true},
+		{"http://cache.example:8080/some/path", "http://cache.example:8080", true},
+		{"", "", false},
+		{"dir:", "", false},
+		{"ftp://x", "", false},
+		{"bogus", "", false},
+	}
+	for _, tc := range cases {
+		b, err := cachestore.Parse(tc.spec)
+		if tc.ok != (err == nil) {
+			t.Errorf("Parse(%q) error = %v, want ok=%v", tc.spec, err, tc.ok)
+			continue
+		}
+		if tc.ok && b.String() != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.spec, b.String(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package cachestore abstracts where probe-verdict files live.
+//
+// internal/probecache keeps monotone feasibility verdicts (capacity
+// frontiers, period verdicts) keyed by canonical graph fingerprints. The
+// verdicts are pure, advisory facts: losing the store can never change an
+// answer, only cost extra simulation. That makes the store a natural
+// pluggable tier — a local directory for one machine, process memory for
+// one run, or an HTTP service (vrdfserve's /v1/cache endpoints) shared by
+// a fleet of replicas and CI shards pooling one feasibility frontier.
+//
+// The Backend interface is deliberately tiny — read, write, delete and
+// list opaque payloads by fingerprint — so implementations stay dumb and
+// every hard property lives in exactly one place:
+//
+//   - integrity is the payload's problem (probecache seals files with a
+//     content checksum and validates monotonicity on absorb, so a torn or
+//     corrupted payload from ANY backend is skipped, never trusted);
+//   - fault tolerance is Resilient's problem (per-op deadlines, bounded
+//     jittered retries, a half-open circuit breaker, and graceful
+//     demotion to a local fallback tier), so a slow or dead remote store
+//     can never stall an analysis;
+//   - serving is Handler's problem (the /v1/cache HTTP protocol over any
+//     Backend, limit-guarded with typed errors in the style of
+//     graphio.Limits).
+//
+// Every operation takes a Context and returns promptly once it is
+// cancelled; cancellation errors satisfy budget.ErrCanceled so callers
+// can tell "the caller hung up" from "the backend misbehaved".
+package cachestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound reports that no payload is stored under the fingerprint.
+// It is a miss, not a failure: resilience layers never retry it and never
+// count it against a backend's health.
+var ErrNotFound = errors.New("cachestore: fingerprint not found")
+
+// Backend stores opaque verdict payloads by fingerprint. Implementations
+// must be safe for concurrent use and must honour the Context: once it is
+// cancelled, the operation returns promptly with an error satisfying
+// budget.ErrCanceled.
+//
+// Payloads are advisory bytes. A Backend makes no integrity promise
+// beyond returning what was stored; callers (internal/probecache)
+// validate content before trusting it.
+type Backend interface {
+	// Read returns the payload stored under fingerprint, or ErrNotFound.
+	Read(ctx context.Context, fingerprint string) ([]byte, error)
+	// Write stores the payload under fingerprint, replacing any previous
+	// payload atomically (a concurrent Read sees the old or the new
+	// payload, never a mixture).
+	Write(ctx context.Context, fingerprint string, data []byte) error
+	// Delete removes the fingerprint's payload; deleting an absent
+	// fingerprint is not an error.
+	Delete(ctx context.Context, fingerprint string) error
+	// List returns every stored fingerprint in lexicographic order.
+	List(ctx context.Context) ([]string, error)
+	// String describes the backend for stats lines and flag round-trips,
+	// e.g. "dir:/var/cache/vrdf", "mem:", "http://host:8080".
+	String() string
+}
+
+// LimitError reports which guard a cache-store operation exceeded, in the
+// style of graphio.LimitError: a typed error so servers can map it to a
+// precise status (413 for an oversized payload, 507 for a full store)
+// while genuine failures keep their own mapping.
+type LimitError struct {
+	// What names the limited dimension: "payload bytes" or "entries".
+	What string
+	// Limit is the configured maximum; Got the observed value.
+	Limit, Got int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("cachestore: %s limit exceeded: %d > %d", e.What, e.Got, e.Limit)
+}
+
+// IsLimit reports whether err stems from a LimitError.
+func IsLimit(err error) bool {
+	var le *LimitError
+	return errors.As(err, &le)
+}
+
+// validFingerprint rejects keys that could escape a directory or confuse
+// the HTTP protocol. Canonical fingerprints (probecache.GraphKey) are
+// 64 lowercase hex digits; the dir and mem backends accept any
+// path-safe name so tests and future keys stay flexible, while the HTTP
+// protocol pins the canonical form (see Handler).
+func validFingerprint(fp string) error {
+	if fp == "" {
+		return errors.New("cachestore: empty fingerprint")
+	}
+	if len(fp) > 256 {
+		return fmt.Errorf("cachestore: fingerprint longer than 256 bytes (%d)", len(fp))
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return fmt.Errorf("cachestore: fingerprint %q holds unsafe byte %q", fp, c)
+		}
+	}
+	if fp[0] == '.' {
+		return fmt.Errorf("cachestore: fingerprint %q must not start with a dot", fp)
+	}
+	return nil
+}
+
+// canonicalFingerprint reports whether fp has the canonical GraphKey
+// shape: exactly 64 lowercase hex digits. The HTTP protocol only accepts
+// canonical fingerprints — a shared store is keyed by graph fingerprints
+// and nothing else.
+func canonicalFingerprint(fp string) bool {
+	if len(fp) != 64 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,153 @@
+package cachestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vrdfcap/internal/budget"
+)
+
+// suffix is the on-disk filename suffix for payloads. It predates this
+// package (probecache always wrote <fingerprint>.json), so a Dir backend
+// pointed at an existing -cache-dir keeps reading the same files.
+const suffix = ".json"
+
+// Dir is the local-directory backend: one file per fingerprint,
+// written atomically (temp file + fsync + rename) so a crash mid-write
+// can never leave a torn payload where a complete one used to be, and a
+// reader racing a writer sees the old or the new payload, never a
+// mixture.
+type Dir struct {
+	dir string
+}
+
+// NewDir returns a backend over dir. The directory is created lazily on
+// the first Write, so pointing at a not-yet-existing cache directory is
+// fine (and reads from it are simply misses).
+func NewDir(dir string) *Dir {
+	return &Dir{dir: dir}
+}
+
+func (b *Dir) String() string { return "dir:" + b.dir }
+
+// Path returns the directory the backend stores files under.
+func (b *Dir) Path() string { return b.dir }
+
+func (b *Dir) file(fingerprint string) string {
+	return filepath.Join(b.dir, fingerprint+suffix)
+}
+
+// Read implements Backend.
+func (b *Dir) Read(ctx context.Context, fingerprint string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, budget.Classify(err)
+	}
+	if err := validFingerprint(fingerprint); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(b.file(fingerprint))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Write implements Backend. The payload lands durably before the rename
+// publishes it: the temp file is fsynced first (otherwise a crash after
+// the rename could leave a name pointing at zero-length or partial
+// content), and the directory is fsynced best-effort afterwards so the
+// rename itself survives a crash on filesystems that need it.
+func (b *Dir) Write(ctx context.Context, fingerprint string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return budget.Classify(err)
+	}
+	if err := validFingerprint(fingerprint); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(b.dir, 0o755); err != nil {
+		return fmt.Errorf("cachestore: create cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(b.dir, fingerprint+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), b.file(fingerprint))
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error wins
+		return werr
+	}
+	b.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the directory so a just-renamed entry survives a crash.
+// Best-effort: not every platform or filesystem supports fsync on a
+// directory handle, and the payload itself is already durable.
+func (b *Dir) syncDir() {
+	d, err := os.Open(b.dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Delete implements Backend.
+func (b *Dir) Delete(ctx context.Context, fingerprint string) error {
+	if err := ctx.Err(); err != nil {
+		return budget.Classify(err)
+	}
+	if err := validFingerprint(fingerprint); err != nil {
+		return err
+	}
+	err := os.Remove(b.file(fingerprint))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// List implements Backend. Temp files from in-flight writes are not
+// listed.
+func (b *Dir) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, budget.Classify(err)
+	}
+	des, err := os.ReadDir(b.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(des))
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		fp := strings.TrimSuffix(name, suffix)
+		if strings.Contains(fp, ".tmp") {
+			continue
+		}
+		out = append(out, fp)
+	}
+	return out, nil // ReadDir returns entries sorted by name
+}

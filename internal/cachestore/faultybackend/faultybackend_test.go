@@ -1,0 +1,127 @@
+package faultybackend_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vrdfcap/internal/budget"
+	"vrdfcap/internal/cachestore"
+	"vrdfcap/internal/cachestore/faultybackend"
+)
+
+const testFP = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+
+func seeded(t *testing.T, data []byte) *cachestore.Mem {
+	t.Helper()
+	m := cachestore.NewMem()
+	if err := m.Write(context.Background(), testFP, data); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestScheduleIsDeterministic pins the replay contract: equal (Seed, Spec)
+// wrappers misbehave on exactly the same op indices.
+func TestScheduleIsDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		b := faultybackend.Wrap(seeded(t, []byte("x")), faultybackend.Spec{Seed: seed, ErrorOneIn: 2})
+		var p []bool
+		for i := 0; i < 64; i++ {
+			_, err := b.Read(context.Background(), testFP)
+			p = append(p, errors.Is(err, faultybackend.ErrInjected))
+		}
+		return p
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 64-op schedules")
+	}
+}
+
+func TestPartitionFailsEveryOp(t *testing.T) {
+	b := faultybackend.Wrap(seeded(t, []byte("x")), faultybackend.Spec{Partitioned: true})
+	ctx := context.Background()
+	if _, err := b.Read(ctx, testFP); !errors.Is(err, faultybackend.ErrInjected) {
+		t.Errorf("Read = %v, want ErrInjected", err)
+	}
+	if err := b.Write(ctx, testFP, []byte("y")); !errors.Is(err, faultybackend.ErrInjected) {
+		t.Errorf("Write = %v, want ErrInjected", err)
+	}
+	if _, err := b.List(ctx); !errors.Is(err, faultybackend.ErrInjected) {
+		t.Errorf("List = %v, want ErrInjected", err)
+	}
+	if b.Faults() != b.Ops() {
+		t.Errorf("Faults = %d, Ops = %d; a partition faults every op", b.Faults(), b.Ops())
+	}
+}
+
+// TestPayloadFaultsLeaveInnerIntact: truncation and corruption damage the
+// served copy, never the stored bytes — the next healthy read sees the
+// original payload.
+func TestPayloadFaultsLeaveInnerIntact(t *testing.T) {
+	orig := []byte(`{"version":2,"payload":"0123456789"}`)
+	ctx := context.Background()
+
+	inner := seeded(t, orig)
+	trunc := faultybackend.Wrap(inner, faultybackend.Spec{Seed: 9, TruncateOneIn: 1})
+	got, err := trunc.Read(ctx, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(orig) || !bytes.HasPrefix(orig, got) {
+		t.Errorf("truncated read %q is not a proper prefix of %q", got, orig)
+	}
+
+	inner2 := seeded(t, orig)
+	corr := faultybackend.Wrap(inner2, faultybackend.Spec{Seed: 9, CorruptOneIn: 1})
+	got, err = corr.Read(ctx, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) || bytes.Equal(got, orig) {
+		t.Errorf("corrupted read %q should differ from %q in exactly one byte", got, orig)
+	}
+	for _, m := range []*cachestore.Mem{inner, inner2} {
+		back, err := m.Read(ctx, testFP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, orig) {
+			t.Errorf("stored payload was mutated: %q", back)
+		}
+	}
+}
+
+// TestLatencyHonoursContext: a latency spike is a slow store, not a
+// deadlock — the op Context cuts it short with the typed budget error.
+func TestLatencyHonoursContext(t *testing.T) {
+	b := faultybackend.Wrap(seeded(t, []byte("x")), faultybackend.Spec{
+		Seed: 5, LatencyOneIn: 1, Latency: time.Hour,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := b.Read(ctx, testFP)
+	if !errors.Is(err, budget.ErrBudgetExceeded) && !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("Read under expiring ctx = %v, want a budget error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("latency spike ignored the context for %v", elapsed)
+	}
+}

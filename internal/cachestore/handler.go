@@ -1,0 +1,170 @@
+package cachestore
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// HandlerLimits bound what the served store accepts. The endpoints are
+// auth-free by design — verdict payloads are advisory and validated
+// before being trusted by any reader — so the limits are the only guard
+// against a misbehaving or hostile writer filling the tier.
+type HandlerLimits struct {
+	// MaxPayloadBytes caps one payload (≤0: 1 MiB).
+	MaxPayloadBytes int
+	// MaxEntries caps distinct stored fingerprints (≤0: 4096).
+	MaxEntries int
+}
+
+func (l HandlerLimits) withDefaults() HandlerLimits {
+	if l.MaxPayloadBytes <= 0 {
+		l.MaxPayloadBytes = 1 << 20
+	}
+	if l.MaxEntries <= 0 {
+		l.MaxEntries = 4096
+	}
+	return l
+}
+
+// handler serves the /v1/cache protocol over a Backend.
+type handler struct {
+	backend Backend
+	limits  HandlerLimits
+}
+
+// Handler returns an http.Handler speaking the /v1/cache protocol over
+// backend, expecting paths RELATIVE to the /v1/cache/ prefix (mount it
+// with http.StripPrefix, as internal/serve does):
+//
+//	GET    <fp>  -> 200 payload | 404
+//	PUT    <fp>  -> 204 | 413 payload too large | 507 store full
+//	DELETE <fp>  -> 204 (idempotent)
+//	GET    ""    -> 200 {"fingerprints": [...]}
+//
+// Fingerprints must be canonical (64 lowercase hex digits, the
+// probecache.GraphKey shape); anything else is a 400. Limit violations
+// answer with typed statuses so a resilient client can tell "the store
+// is full" (a durable condition, don't retry) from a transient failure.
+func Handler(backend Backend, limits HandlerLimits) http.Handler {
+	return &handler{backend: backend, limits: limits.withDefaults()}
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fp := strings.Trim(r.URL.Path, "/")
+	if fp == "" {
+		h.serveList(w, r)
+		return
+	}
+	if !canonicalFingerprint(fp) {
+		http.Error(w, "cachestore: fingerprint must be 64 lowercase hex digits", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		h.serveRead(w, r, fp)
+	case http.MethodPut:
+		h.serveWrite(w, r, fp)
+	case http.MethodDelete:
+		h.serveDelete(w, r, fp)
+	default:
+		w.Header().Set("Allow", "GET, HEAD, PUT, DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// fail maps backend errors onto statuses: limits keep their typed codes,
+// everything else is a 502 — the serving tier itself is fine, the
+// backend behind it failed.
+func fail(w http.ResponseWriter, err error) {
+	var le *LimitError
+	switch {
+	case errors.As(err, &le):
+		if le.What == "entries" {
+			http.Error(w, err.Error(), http.StatusInsufficientStorage)
+		} else {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		}
+	case errors.Is(err, ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+func (h *handler) serveRead(w http.ResponseWriter, r *http.Request, fp string) {
+	data, err := h.backend.Read(r.Context(), fp)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(data)
+	}
+}
+
+func (h *handler) serveWrite(w http.ResponseWriter, r *http.Request, fp string) {
+	max := h.limits.MaxPayloadBytes
+	data, err := io.ReadAll(io.LimitReader(r.Body, int64(max)+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) > max {
+		fail(w, &LimitError{What: "payload bytes", Limit: max, Got: len(data)})
+		return
+	}
+	// The entry guard admits overwrites of existing fingerprints even
+	// when the store is full: replacing a payload never grows the tier.
+	if _, rerr := h.backend.Read(r.Context(), fp); errors.Is(rerr, ErrNotFound) {
+		fps, lerr := h.backend.List(r.Context())
+		if lerr != nil {
+			fail(w, lerr)
+			return
+		}
+		if len(fps) >= h.limits.MaxEntries {
+			fail(w, &LimitError{What: "entries", Limit: h.limits.MaxEntries, Got: len(fps) + 1})
+			return
+		}
+	}
+	if err := h.backend.Write(r.Context(), fp, data); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *handler) serveDelete(w http.ResponseWriter, r *http.Request, fp string) {
+	if err := h.backend.Delete(r.Context(), fp); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *handler) serveList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	fps, err := h.backend.List(r.Context())
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	sort.Strings(fps)
+	if fps == nil {
+		fps = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_ = json.NewEncoder(w).Encode(listResponse{Fingerprints: fps})
+	}
+}

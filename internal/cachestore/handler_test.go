@@ -1,0 +1,137 @@
+package cachestore_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/cachestore"
+)
+
+// withCachePrefix mounts h the way internal/serve does: under the
+// protocol's /v1/cache/ prefix.
+func withCachePrefix(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle(cachestore.CachePath, http.StripPrefix(strings.TrimSuffix(cachestore.CachePath, "/"), h))
+	return mux
+}
+
+func doReq(t *testing.T, srv *httptest.Server, method, path string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHandlerProtocol(t *testing.T) {
+	mem := cachestore.NewMem()
+	srv := httptest.NewServer(withCachePrefix(cachestore.Handler(mem, cachestore.HandlerLimits{
+		MaxPayloadBytes: 64,
+		MaxEntries:      2,
+	})))
+	defer srv.Close()
+	a, b, c := fp("a"), fp("b"), fp("c")
+
+	if resp := doReq(t, srv, http.MethodGet, cachestore.CachePath+a, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET miss = %d, want 404", resp.StatusCode)
+	}
+	if resp := doReq(t, srv, http.MethodGet, cachestore.CachePath+"not-canonical", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET bad fingerprint = %d, want 400", resp.StatusCode)
+	}
+	if resp := doReq(t, srv, http.MethodPost, cachestore.CachePath+a, []byte("x")); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST = %d, want 405", resp.StatusCode)
+	}
+
+	if resp := doReq(t, srv, http.MethodPut, cachestore.CachePath+a, []byte(`{"v":1}`)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT = %d, want 204", resp.StatusCode)
+	}
+	resp := doReq(t, srv, http.MethodGet, cachestore.CachePath+a, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET = %d, want 200", resp.StatusCode)
+	}
+	if data, _ := io.ReadAll(resp.Body); string(data) != `{"v":1}` {
+		t.Fatalf("GET body = %q", data)
+	}
+
+	// An oversized payload answers 413 and stores nothing.
+	big := bytes.Repeat([]byte("x"), 65)
+	if resp := doReq(t, srv, http.MethodPut, cachestore.CachePath+b, big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("PUT oversize = %d, want 413", resp.StatusCode)
+	}
+	if mem.Len() != 1 {
+		t.Fatalf("store holds %d entries after rejected PUT, want 1", mem.Len())
+	}
+
+	// Filling the store answers 507 for NEW fingerprints while
+	// overwrites of existing ones stay admitted (they never grow the
+	// tier).
+	if resp := doReq(t, srv, http.MethodPut, cachestore.CachePath+b, []byte("2")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT second = %d, want 204", resp.StatusCode)
+	}
+	if resp := doReq(t, srv, http.MethodPut, cachestore.CachePath+c, []byte("3")); resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("PUT into full store = %d, want 507", resp.StatusCode)
+	}
+	if resp := doReq(t, srv, http.MethodPut, cachestore.CachePath+a, []byte(`{"v":2}`)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("overwrite into full store = %d, want 204", resp.StatusCode)
+	}
+
+	// List reports both entries, sorted.
+	resp = doReq(t, srv, http.MethodGet, cachestore.CachePath, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET list = %d, want 200", resp.StatusCode)
+	}
+	var lr struct {
+		Fingerprints []string `json:"fingerprints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(lr.Fingerprints) != 2 || lr.Fingerprints[0] >= lr.Fingerprints[1] {
+		t.Fatalf("list = %v, want 2 sorted fingerprints", lr.Fingerprints)
+	}
+
+	// DELETE is idempotent and frees a slot.
+	if resp := doReq(t, srv, http.MethodDelete, cachestore.CachePath+a, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d, want 204", resp.StatusCode)
+	}
+	if resp := doReq(t, srv, http.MethodDelete, cachestore.CachePath+a, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE again = %d, want 204", resp.StatusCode)
+	}
+	if resp := doReq(t, srv, http.MethodPut, cachestore.CachePath+c, []byte("3")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT after delete = %d, want 204", resp.StatusCode)
+	}
+}
+
+// errorBackend always fails, standing in for a broken tier behind the
+// handler.
+type errorBackend struct{ err error }
+
+func (e errorBackend) Read(context.Context, string) ([]byte, error) { return nil, e.err }
+func (e errorBackend) Write(context.Context, string, []byte) error  { return e.err }
+func (e errorBackend) Delete(context.Context, string) error         { return e.err }
+func (e errorBackend) List(context.Context) ([]string, error)       { return nil, e.err }
+func (e errorBackend) String() string                               { return "error:" }
+
+func TestHandlerBackendFailureIs502(t *testing.T) {
+	srv := httptest.NewServer(withCachePrefix(cachestore.Handler(errorBackend{err: io.ErrUnexpectedEOF}, cachestore.HandlerLimits{})))
+	defer srv.Close()
+	if resp := doReq(t, srv, http.MethodGet, cachestore.CachePath+fp("a"), nil); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("GET over broken backend = %d, want 502", resp.StatusCode)
+	}
+}

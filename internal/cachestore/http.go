@@ -1,0 +1,181 @@
+package cachestore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"vrdfcap/internal/budget"
+)
+
+// CachePath is the URL prefix the HTTP protocol lives under, on the
+// client (HTTP backend) and the server (Handler mounted by
+// internal/serve) alike.
+const CachePath = "/v1/cache/"
+
+// maxHTTPPayload caps what the client will read back for one payload —
+// a runaway guard against a misbehaving server, far above any real
+// verdict file.
+const maxHTTPPayload = 8 << 20
+
+// HTTP is the remote backend: a client for the /v1/cache protocol served
+// by vrdfserve (see Handler). It makes no resilience promise of its own —
+// wrap it in Resilient for deadlines, retries, circuit breaking and
+// demotion; the raw backend simply maps the protocol:
+//
+//	GET    /v1/cache/<fp>  -> payload bytes (404: ErrNotFound)
+//	PUT    /v1/cache/<fp>  -> store payload
+//	DELETE /v1/cache/<fp>  -> remove payload (absent is fine)
+//	GET    /v1/cache/      -> {"fingerprints": [...]}
+type HTTP struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTP returns a backend for the service at baseURL (scheme + host,
+// e.g. "http://cache:8080"; any path or trailing slash is stripped —
+// the protocol's own /v1/cache/ prefix is appended per request).
+func NewHTTP(baseURL string) (*HTTP, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("cachestore: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("cachestore: base URL %q must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("cachestore: base URL %q has no host", baseURL)
+	}
+	return &HTTP{
+		base: u.Scheme + "://" + u.Host,
+		// Deliberately no client-level timeout: per-op deadlines come
+		// from the Context (Resilient applies its OpTimeout there), so
+		// one knob governs every backend kind.
+		client: &http.Client{},
+	}, nil
+}
+
+func (b *HTTP) String() string { return b.base }
+
+func (b *HTTP) urlFor(fingerprint string) string {
+	return b.base + CachePath + fingerprint
+}
+
+// do runs one request and returns the response; non-2xx statuses other
+// than okNotFound→404 become errors carrying the status and a truncated
+// body.
+func (b *HTTP) do(req *http.Request) (*http.Response, error) {
+	resp, err := b.client.Do(req)
+	if err != nil {
+		// The transport wraps context errors; classify so cancellation
+		// keeps its typed identity through the backend.
+		return nil, budget.Classify(err)
+	}
+	return resp, nil
+}
+
+// errBody drains up to a line of the response body into the error.
+func errBody(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	msg := strings.TrimSpace(string(data))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("cachestore: remote store answered %d: %s", resp.StatusCode, msg)
+}
+
+// Read implements Backend.
+func (b *HTTP) Read(ctx context.Context, fingerprint string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.urlFor(fingerprint), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxHTTPPayload+1))
+		if err != nil {
+			return nil, budget.Classify(err)
+		}
+		if len(data) > maxHTTPPayload {
+			return nil, &LimitError{What: "payload bytes", Limit: maxHTTPPayload, Got: len(data)}
+		}
+		return data, nil
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, errBody(resp)
+	}
+}
+
+// Write implements Backend.
+func (b *HTTP) Write(ctx context.Context, fingerprint string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, b.urlFor(fingerprint), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return errBody(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Delete implements Backend.
+func (b *HTTP) Delete(ctx context.Context, fingerprint string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, b.urlFor(fingerprint), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
+		return errBody(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// listResponse is the JSON shape of a List exchange.
+type listResponse struct {
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// List implements Backend.
+func (b *HTTP) List(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+CachePath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errBody(resp)
+	}
+	var lr listResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxHTTPPayload)).Decode(&lr); err != nil {
+		return nil, fmt.Errorf("cachestore: bad list response: %w", err)
+	}
+	return lr.Fingerprints, nil
+}

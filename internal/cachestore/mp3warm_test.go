@@ -1,0 +1,89 @@
+package cachestore_test
+
+// Two-replica shared-remote smoke over the paper's §5 MP3 playback
+// application: replica 1 minimises cold and flushes its frontier to a
+// vrdfserve-style /v1/cache store; replica 2 — a fresh process sharing
+// nothing but the remote — answers the identical minimisation with zero
+// simulated probes. This is the fleet payoff the ROADMAP names: verdicts
+// pooled across replicas, answers unchanged.
+
+import (
+	"testing"
+
+	vrdfcap "vrdfcap"
+	"vrdfcap/internal/cachestore"
+	"vrdfcap/internal/minimize"
+	"vrdfcap/internal/mp3"
+	"vrdfcap/internal/probecache"
+	"vrdfcap/internal/quanta"
+	"vrdfcap/internal/sim"
+)
+
+func TestChaosWarmMP3MinimizeViaRemoteStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold §5 MP3 minimize simulates for seconds")
+	}
+	g, err := mp3.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mp3.Constraint()
+	res, err := vrdfcap.Analyze(g, c, vrdfcap.PolicyEquation4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := mp3.BufferNames()
+	upper := make(map[string]int64, len(names))
+	for _, n := range names {
+		upper[n] = res.BufferByName(n).Capacity
+	}
+	w := []sim.Workloads{{names[0]: {Cons: quanta.Uniform(mp3.FrameSizes(), 2008)}}}
+	fp := probecache.GraphKey(g, "chaos-mp3-minimize", "2205")
+	url := newSharedRemote(t)
+
+	// Replica 1: cold search through the healthy remote, then flush.
+	store1 := probecache.NewStoreBackend(
+		cachestore.NewResilient(remoteBackend(t, url), cachestore.NewMem(), chaosOptions(1)))
+	front1, err := store1.Entry(fp).Frontier(names[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts1 := minimize.Options{Cache: front1, Checkpoints: 8}
+	cold, err := minimize.Search(names[:], upper, minimize.ThroughputCheck(g, c, 2205, w, opts1), opts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Checks == 0 {
+		t.Fatal("cold replica simulated nothing; the warm assertion would be vacuous")
+	}
+	if _, err := store1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica 2: fresh store, same remote — every probe answered by the
+	// pooled frontier.
+	store2 := probecache.NewStoreBackend(
+		cachestore.NewResilient(remoteBackend(t, url), cachestore.NewMem(), chaosOptions(2)))
+	front2, err := store2.Entry(fp).Frontier(names[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2 := minimize.Options{Cache: front2}
+	warm, err := minimize.Search(names[:], upper, minimize.ThroughputCheck(g, c, 2205, w, opts2), opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Checks != 0 {
+		t.Fatalf("warm replica simulated %d probes via the remote store, want 0", warm.Checks)
+	}
+	if warm.Total() != cold.Total() {
+		t.Fatalf("warm minimum %d diverged from cold minimum %d", warm.Total(), cold.Total())
+	}
+	st := store2.Stats()
+	if st.Loaded != 1 {
+		t.Fatalf("replica 2 did not trust the flushed payload: %+v", st)
+	}
+	if st.Resilience == nil || st.Resilience.Demotions != 0 || st.Resilience.Retries != 0 {
+		t.Errorf("healthy remote tripped the resilience layer: %+v", st.Resilience)
+	}
+}

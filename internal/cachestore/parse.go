@@ -1,0 +1,36 @@
+package cachestore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse turns a backend spec — the -cache-backend flag grammar — into a
+// raw Backend:
+//
+//	dir:PATH      local directory of <fingerprint>.json files
+//	mem:          process-local in-memory store
+//	http://HOST   remote store speaking the /v1/cache protocol
+//	https://HOST  same, over TLS
+//
+// Parse returns the bare backend; callers who need fault tolerance (any
+// networked spec) wrap it in Resilient themselves, choosing the fallback
+// tier.
+func Parse(spec string) (Backend, error) {
+	switch {
+	case strings.HasPrefix(spec, "dir:"):
+		dir := spec[len("dir:"):]
+		if dir == "" {
+			return nil, fmt.Errorf("cachestore: spec %q has an empty directory", spec)
+		}
+		return NewDir(dir), nil
+	case spec == "mem:" || spec == "mem":
+		return NewMem(), nil
+	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
+		return NewHTTP(spec)
+	case spec == "":
+		return nil, fmt.Errorf("cachestore: empty backend spec")
+	default:
+		return nil, fmt.Errorf("cachestore: bad backend spec %q (want dir:PATH, mem:, or http[s]://HOST)", spec)
+	}
+}

@@ -1,0 +1,375 @@
+package cachestore_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vrdfcap/internal/budget"
+	"vrdfcap/internal/cachestore"
+)
+
+// flaky wraps a Mem backend and fails the next `failures` operations
+// with err before delegating, counting every call.
+type flaky struct {
+	inner    *cachestore.Mem
+	mu       sync.Mutex
+	failures int
+	err      error
+	calls    int
+}
+
+func newFlaky(failures int) *flaky {
+	return &flaky{inner: cachestore.NewMem(), failures: failures, err: errors.New("flaky: injected failure")}
+}
+
+func (f *flaky) step() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.failures != 0 {
+		if f.failures > 0 {
+			f.failures--
+		}
+		return f.err
+	}
+	return nil
+}
+
+func (f *flaky) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *flaky) Read(ctx context.Context, fp string) ([]byte, error) {
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	return f.inner.Read(ctx, fp)
+}
+
+func (f *flaky) Write(ctx context.Context, fp string, data []byte) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.inner.Write(ctx, fp, data)
+}
+
+func (f *flaky) Delete(ctx context.Context, fp string) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.inner.Delete(ctx, fp)
+}
+
+func (f *flaky) List(ctx context.Context) ([]string, error) {
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	return f.inner.List(ctx)
+}
+
+func (f *flaky) String() string { return "flaky:" }
+
+// seams returns instant test seams: a settable clock and a sleep that
+// records requested delays without waiting.
+type seams struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (s *seams) clock() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+func (s *seams) advance(d time.Duration) {
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+}
+
+func (s *seams) sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.sleeps = append(s.sleeps, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+func (s *seams) sleepCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sleeps)
+}
+
+func testOptions(s *seams) cachestore.Options {
+	return cachestore.Options{
+		Retries:          2,
+		Backoff:          10 * time.Millisecond,
+		MaxBackoff:       40 * time.Millisecond,
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		Seed:             2008,
+		Clock:            s.clock,
+		Sleep:            s.sleep,
+	}
+}
+
+func TestResilientRetriesThenSucceeds(t *testing.T) {
+	s := &seams{}
+	fk := newFlaky(2)
+	r := cachestore.NewResilient(fk, nil, testOptions(s))
+	ctx := context.Background()
+
+	if err := r.Write(ctx, fp("a"), []byte("v")); err != nil {
+		t.Fatalf("Write = %v, want success on third attempt", err)
+	}
+	if got := fk.callCount(); got != 3 {
+		t.Fatalf("primary saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+	st := r.Stats()
+	if st.PrimaryOps != 1 || st.PrimaryErrors != 2 || st.Retries != 2 || st.Demotions != 0 {
+		t.Fatalf("stats = %+v, want 1 op, 2 errors, 2 retries, 0 demotions", st)
+	}
+	if s.sleepCount() != 2 {
+		t.Fatalf("slept %d times, want 2", s.sleepCount())
+	}
+	// Jittered exponential backoff: delay i sits in [0.5, 1.5)·base·2^i,
+	// and the same seed reproduces the same stream.
+	for i, d := range s.sleeps {
+		base := 10 * time.Millisecond << i
+		if d < base/2 || d >= base+base/2 {
+			t.Errorf("backoff %d = %v, want in [%v, %v)", i, d, base/2, base+base/2)
+		}
+	}
+	s2 := &seams{}
+	r2 := cachestore.NewResilient(newFlaky(2), nil, testOptions(s2))
+	if err := r2.Write(ctx, fp("a"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.sleeps {
+		if s.sleeps[i] != s2.sleeps[i] {
+			t.Fatalf("same seed, different backoff stream: %v vs %v", s.sleeps, s2.sleeps)
+		}
+	}
+}
+
+func TestResilientMissIsNotRetried(t *testing.T) {
+	s := &seams{}
+	fk := newFlaky(0)
+	r := cachestore.NewResilient(fk, nil, testOptions(s))
+	if _, err := r.Read(context.Background(), fp("missing")); !errors.Is(err, cachestore.ErrNotFound) {
+		t.Fatalf("Read = %v, want ErrNotFound", err)
+	}
+	if got := fk.callCount(); got != 1 {
+		t.Fatalf("primary saw %d calls for a miss, want 1 (no retries)", got)
+	}
+	if st := r.Stats(); st.PrimaryErrors != 0 {
+		t.Fatalf("a miss was counted as an error: %+v", st)
+	}
+}
+
+func TestResilientCanceledContextAbortsPromptly(t *testing.T) {
+	s := &seams{}
+	fk := newFlaky(-1) // fail forever
+	r := cachestore.NewResilient(fk, cachestore.NewMem(), testOptions(s))
+
+	// Cancelled before the call: no attempt at all.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Read(canceled, fp("a")); !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("Read(pre-canceled) = %v, want budget.ErrCanceled", err)
+	}
+	if fk.callCount() != 0 {
+		t.Fatalf("primary touched despite pre-canceled context")
+	}
+
+	// Cancelled mid-backoff: the retry loop must stop spinning at once,
+	// keep the typed identity, and neither demote nor penalise the
+	// breaker — a hung-up caller says nothing about backend health.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	calls := 0
+	opts := testOptions(s)
+	opts.Sleep = func(c context.Context, d time.Duration) error {
+		calls++
+		cancel2()
+		return c.Err()
+	}
+	r2 := cachestore.NewResilient(newFlaky(-1), cachestore.NewMem(), opts)
+	if _, err := r2.Read(ctx, fp("a")); !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("Read(canceled mid-backoff) = %v, want budget.ErrCanceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("retry loop slept %d times after cancellation, want 1", calls)
+	}
+	if st := r2.Stats(); st.Demotions != 0 || st.BreakerOpens != 0 {
+		t.Fatalf("cancellation was held against the backend: %+v", st)
+	}
+}
+
+func TestResilientWriteThroughAndDemotion(t *testing.T) {
+	s := &seams{}
+	fk := newFlaky(-1) // primary is dead
+	fallback := cachestore.NewMem()
+	r := cachestore.NewResilient(fk, fallback, testOptions(s))
+	ctx := context.Background()
+
+	// A dead primary must not fail the write: the payload lands in the
+	// fallback tier and the operation reports success.
+	if err := r.Write(ctx, fp("a"), []byte("v")); err != nil {
+		t.Fatalf("Write with dead primary = %v, want demoted success", err)
+	}
+	if got, err := fallback.Read(ctx, fp("a")); err != nil || string(got) != "v" {
+		t.Fatalf("fallback holds %q, %v, want write-through copy", got, err)
+	}
+	if got, err := r.Read(ctx, fp("a")); err != nil || string(got) != "v" {
+		t.Fatalf("Read through demoted store = %q, %v, want fallback copy", got, err)
+	}
+	st := r.Stats()
+	if st.Demotions < 2 {
+		t.Fatalf("demotions = %d, want >= 2 (write + read)", st.Demotions)
+	}
+}
+
+func TestResilientReadMissFallsThroughToFallback(t *testing.T) {
+	s := &seams{}
+	fk := newFlaky(0) // healthy but empty primary
+	fallback := cachestore.NewMem()
+	ctx := context.Background()
+	if err := fallback.Write(ctx, fp("local"), []byte("only-here")); err != nil {
+		t.Fatal(err)
+	}
+	r := cachestore.NewResilient(fk, fallback, testOptions(s))
+	got, err := r.Read(ctx, fp("local"))
+	if err != nil || string(got) != "only-here" {
+		t.Fatalf("Read = %q, %v, want the fallback-only payload", got, err)
+	}
+	if fk.callCount() != 1 {
+		t.Fatalf("primary saw %d calls, want 1 (a miss is not retried)", fk.callCount())
+	}
+}
+
+func TestResilientCircuitBreaker(t *testing.T) {
+	s := &seams{now: time.Unix(1000, 0)}
+	fk := newFlaky(-1)
+	fallback := cachestore.NewMem()
+	opts := testOptions(s)
+	opts.Retries = -1 // no retries: one attempt per op, crisper accounting
+	opts.FailureThreshold = 2
+	opts.Cooldown = time.Second
+	r := cachestore.NewResilient(fk, fallback, opts)
+	ctx := context.Background()
+
+	// Two consecutive failed operations open the breaker.
+	_, _ = r.Read(ctx, fp("a"))
+	_, _ = r.Read(ctx, fp("a"))
+	st := r.Stats()
+	if st.BreakerOpens != 1 || !st.BreakerOpen {
+		t.Fatalf("stats after threshold = %+v, want breaker open", st)
+	}
+	atAttempts := fk.callCount()
+
+	// While open, operations fast-fail to the fallback without touching
+	// the primary — a dead store costs nothing per lookup.
+	if _, err := r.Read(ctx, fp("a")); !errors.Is(err, cachestore.ErrNotFound) {
+		t.Fatalf("Read while open = %v, want fallback miss", err)
+	}
+	if err := r.Write(ctx, fp("a"), []byte("v")); err != nil {
+		t.Fatalf("Write while open = %v, want demoted success", err)
+	}
+	if fk.callCount() != atAttempts {
+		t.Fatalf("primary touched while breaker open: %d calls, had %d", fk.callCount(), atAttempts)
+	}
+
+	// After the cooldown, exactly one half-open trial probes the
+	// primary; its failure snaps the breaker open again.
+	s.advance(2 * time.Second)
+	_, _ = r.Read(ctx, fp("a"))
+	if fk.callCount() != atAttempts+1 {
+		t.Fatalf("half-open trial made %d calls, want exactly 1", fk.callCount()-atAttempts)
+	}
+	if st := r.Stats(); st.BreakerOpens != 2 || !st.BreakerOpen {
+		t.Fatalf("stats after failed trial = %+v, want re-opened breaker", st)
+	}
+
+	// The store recovers: the next trial succeeds, the breaker closes,
+	// and the read sees the write-through copy from the open period.
+	fk.mu.Lock()
+	fk.failures = 0
+	fk.mu.Unlock()
+	s.advance(2 * time.Second)
+	if _, err := r.Read(ctx, fp("a")); err != nil {
+		// The recovered primary never saw fp("a") (the write was
+		// demoted), so the fallback still answers.
+		if !errors.Is(err, cachestore.ErrNotFound) {
+			t.Fatalf("Read after recovery = %v", err)
+		}
+	}
+	if st := r.Stats(); st.BreakerOpen {
+		t.Fatalf("breaker still open after successful trial: %+v", st)
+	}
+	// With the breaker closed the primary serves again.
+	if err := r.Write(ctx, fp("b"), []byte("w")); err != nil {
+		t.Fatalf("Write after recovery = %v", err)
+	}
+	if got, err := fk.inner.Read(ctx, fp("b")); err != nil || string(got) != "w" {
+		t.Fatalf("primary holds %q, %v after recovery", got, err)
+	}
+}
+
+func TestResilientListUnionsTiers(t *testing.T) {
+	s := &seams{}
+	fk := newFlaky(0)
+	fallback := cachestore.NewMem()
+	ctx := context.Background()
+	if err := fk.inner.Write(ctx, fp("remote"), []byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fallback.Write(ctx, fp("local"), []byte("l")); err != nil {
+		t.Fatal(err)
+	}
+	r := cachestore.NewResilient(fk, fallback, testOptions(s))
+	fps, err := r.List(ctx)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(fps) != 2 {
+		t.Fatalf("List = %v, want union of both tiers", fps)
+	}
+	for i := 1; i < len(fps); i++ {
+		if fps[i-1] >= fps[i] {
+			t.Fatalf("List not sorted: %v", fps)
+		}
+	}
+}
+
+func TestResilientConcurrentOps(t *testing.T) {
+	s := &seams{}
+	r := cachestore.NewResilient(newFlaky(5), cachestore.NewMem(), testOptions(s))
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fp("k")
+			if err := r.Write(ctx, key, []byte("v")); err != nil {
+				failures.Add(1)
+			}
+			if _, err := r.Read(ctx, key); err != nil && !errors.Is(err, cachestore.ErrNotFound) {
+				failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d concurrent ops failed despite fallback tier", failures.Load())
+	}
+}

@@ -214,6 +214,43 @@ func (c *Frontier) Counters() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// SelfCheck verifies the frontier's structural invariants: the feasible
+// and infeasible sets are antichains (no member dominates another, so
+// every entry is load-bearing) and they never contradict (no feasible
+// vector pointwise at or below an infeasible one — monotonicity). The
+// chaos suite runs it after merging verdicts from faulty backends: no
+// fault schedule may ever smuggle a non-monotone verdict into a live
+// frontier.
+func (c *Frontier) SelfCheck() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.feasible {
+		for _, inf := range c.infeasible {
+			if leq(f, inf) {
+				return fmt.Errorf("probecache: frontier contradiction: feasible %s at or below infeasible %s",
+					c.fmtVec(f), c.fmtVec(inf))
+			}
+		}
+	}
+	for i, a := range c.feasible {
+		for j, b := range c.feasible {
+			if i != j && leq(a, b) {
+				return fmt.Errorf("probecache: feasible frontier is not an antichain: %s dominated by %s",
+					c.fmtVec(b), c.fmtVec(a))
+			}
+		}
+	}
+	for i, a := range c.infeasible {
+		for j, b := range c.infeasible {
+			if i != j && leq(a, b) {
+				return fmt.Errorf("probecache: infeasible frontier is not an antichain: %s dominated by %s",
+					c.fmtVec(a), c.fmtVec(b))
+			}
+		}
+	}
+	return nil
+}
+
 // snapshot copies the frontiers for persistence.
 func (c *Frontier) snapshot() frontierSnapshot {
 	c.mu.Lock()

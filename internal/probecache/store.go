@@ -1,48 +1,67 @@
 package probecache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
 
+	"vrdfcap/internal/budget"
+	"vrdfcap/internal/cachestore"
 	"vrdfcap/internal/ratio"
 	"vrdfcap/internal/taskgraph"
 )
 
-// Version is the on-disk format version. A file carrying any other version
-// is ignored on load; Flush always writes the current version.
-const Version = 1
+// Version is the persisted format version. A payload carrying any other
+// version is ignored on load; Flush always writes the current version.
+// Version 2 added the content checksum (Sum): once verdicts can arrive
+// over a network, a flipped byte that still parses must be detectable,
+// because a silently altered Total would change sweep answers.
+const Version = 2
 
-var errNonPositivePeriod = errors.New("probecache: persisted period is not positive")
+var (
+	errNonPositivePeriod = errors.New("probecache: persisted period is not positive")
+	errBadSum            = errors.New("probecache: content checksum mismatch")
+)
 
 // Store is a registry of cache entries keyed by canonical graph
-// fingerprints (GraphKey). A store with an empty directory lives purely in
-// memory; NewStore with a directory adds a versioned on-disk tier: Entry
-// warm-starts from `<dir>/<fingerprint>.json` when a trustworthy file
-// exists, and Flush persists every entry back. On-disk data is advisory —
-// a file that is unreadable, malformed, mis-versioned, mis-fingerprinted
-// or monotonically inconsistent is skipped without error, and the verdicts
+// fingerprints (GraphKey). A store without a backend lives purely in
+// memory; with one, Entry warm-starts from the backend's payload for the
+// fingerprint when a trustworthy one exists, and Flush persists every
+// entry back, merging with whatever another replica published in the
+// meantime. Persisted data is advisory — a payload that is unreadable,
+// malformed, mis-versioned, mis-fingerprinted, checksum-broken or
+// monotonically inconsistent is skipped without error, and the verdicts
 // recomputed in its place overwrite it on the next Flush.
 //
 // Safe for concurrent use.
 type Store struct {
-	dir     string
+	backend cachestore.Backend // nil: memory-only
 	mu      sync.Mutex
 	entries map[string]*Entry
-	loaded  int // files absorbed from disk
-	skipped int // files present but untrusted
+	loaded  int // payloads absorbed from the backend
+	skipped int // payloads present but untrusted
 }
 
-// NewStore returns a store; dir == "" disables the on-disk tier.
+// NewStore returns a store persisting to a directory of JSON files;
+// dir == "" disables the persistence tier.
 func NewStore(dir string) *Store {
-	return &Store{dir: dir, entries: make(map[string]*Entry)}
+	if dir == "" {
+		return &Store{entries: make(map[string]*Entry)}
+	}
+	return NewStoreBackend(cachestore.NewDir(dir))
+}
+
+// NewStoreBackend returns a store persisting through an arbitrary
+// backend — a local directory, process memory, or a Resilient-wrapped
+// remote store shared by a fleet. A nil backend is memory-only.
+func NewStoreBackend(b cachestore.Backend) *Store {
+	return &Store{backend: b, entries: make(map[string]*Entry)}
 }
 
 var shared = NewStore("")
@@ -53,32 +72,64 @@ var shared = NewStore("")
 // verdicts without any caller plumbing.
 func Shared() *Store { return shared }
 
-// Dir returns the on-disk directory, or "" for a memory-only store.
-func (s *Store) Dir() string { return s.dir }
+// Dir returns the backing directory when the store persists to a local
+// directory backend, "" otherwise.
+func (s *Store) Dir() string {
+	if d, ok := s.backend.(*cachestore.Dir); ok {
+		return d.Path()
+	}
+	return ""
+}
+
+// Describe names the persistence tier for stats lines: "dir:...",
+// "mem:", "resilient(http://... -> mem:)", or "" for a memory-only
+// store.
+func (s *Store) Describe() string {
+	if s.backend == nil {
+		return ""
+	}
+	return s.backend.String()
+}
 
 // Entry returns the cache entry for a fingerprint, creating it (and, for
-// disk-backed stores, attempting a one-time load of its file) on first
-// use.
+// backed stores, attempting a one-time load of its payload) on first use.
 func (s *Store) Entry(fingerprint string) *Entry {
+	return s.EntryContext(context.Background(), fingerprint)
+}
+
+// EntryContext is Entry with a caller Context bounding the one-time
+// backend load. A load cut short by cancellation (or any backend
+// failure) starts the entry cold — the cache is advisory, so the caller
+// simply probes by simulation; the entry is NOT reloaded later.
+func (s *Store) EntryContext(ctx context.Context, fingerprint string) *Entry {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.entries[fingerprint]; ok {
-		return e
+	e, ok := s.entries[fingerprint]
+	if !ok {
+		e = &Entry{fp: fingerprint, periods: NewPeriods()}
+		s.entries[fingerprint] = e
 	}
-	e := &Entry{fp: fingerprint, periods: NewPeriods()}
-	if s.dir != "" {
-		s.load(e)
+	s.mu.Unlock()
+	if s.backend != nil {
+		// Outside s.mu: a slow backend load (a remote tier riding its
+		// retry budget) must not serialise unrelated entries. Concurrent
+		// callers of the SAME entry block here until the load settles,
+		// which is exactly the warm-start they asked for.
+		e.loadOnce.Do(func() { s.load(ctx, e) })
 	}
-	s.entries[fingerprint] = e
 	return e
 }
 
 // diskFile is the persisted form of one entry.
 type diskFile struct {
-	Version     int               `json:"version"`
-	Fingerprint string            `json:"fingerprint"`
-	Frontier    *frontierSnapshot `json:"frontier,omitempty"`
-	Periods     []periodRecord    `json:"periods,omitempty"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	// Sum is the content checksum: hex sha256 over the compact JSON
+	// marshal of this struct with Sum itself empty. It guards against
+	// byte corruption that still parses — the monotonicity checks below
+	// cannot notice a plausibly-flipped Total.
+	Sum      string            `json:"sum,omitempty"`
+	Frontier *frontierSnapshot `json:"frontier,omitempty"`
+	Periods  []periodRecord    `json:"periods,omitempty"`
 }
 
 // frontierSnapshot is the persisted form of a Frontier.
@@ -88,45 +139,107 @@ type frontierSnapshot struct {
 	Infeasible [][]int64 `json:"infeasible,omitempty"`
 }
 
-func (s *Store) path(fingerprint string) string {
-	return filepath.Join(s.dir, fingerprint+".json")
+// sumOf computes the content checksum of f (ignoring any Sum it carries).
+func sumOf(f diskFile) (string, error) {
+	f.Sum = ""
+	data, err := json.Marshal(f)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
-// load absorbs the entry's file if one exists and is trustworthy. Called
-// with s.mu held, before the entry is published.
-func (s *Store) load(e *Entry) {
-	data, err := os.ReadFile(s.path(e.fp))
+// seal marshals f with its content checksum filled in.
+func seal(f diskFile) ([]byte, error) {
+	sum, err := sumOf(f)
 	if err != nil {
-		return // no file (or unreadable): start cold
+		return nil, err
 	}
+	f.Sum = sum
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// decodeFile parses and validates a persisted payload: version,
+// fingerprint and content checksum. Deeper validation (period positivity,
+// frontier consistency) happens on absorb.
+func decodeFile(data []byte, fingerprint string) (diskFile, error) {
 	var f diskFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		s.skipped++
-		return
+		return diskFile{}, err
 	}
-	if f.Version != Version || f.Fingerprint != e.fp {
-		s.skipped++
-		return
+	if f.Version != Version {
+		return diskFile{}, fmt.Errorf("probecache: payload version %d, want %d", f.Version, Version)
 	}
-	if err := e.periods.absorb(f.Periods); err != nil {
-		// Partially absorbed verdicts are safe individually (each is an
-		// independent fact), but the file as a whole is untrusted: reset.
-		e.periods = NewPeriods()
-		s.skipped++
-		return
+	if f.Fingerprint != fingerprint {
+		return diskFile{}, fmt.Errorf("probecache: payload is for fingerprint %s, not %s", f.Fingerprint, fingerprint)
 	}
-	// The frontier snapshot needs the caller's buffer order to validate,
-	// so it stays pending until Entry.Frontier is first called.
-	e.pending = f.Frontier
-	s.loaded++
+	sum, err := sumOf(f)
+	if err != nil {
+		return diskFile{}, err
+	}
+	if f.Sum != sum {
+		return diskFile{}, errBadSum
+	}
+	return f, nil
 }
 
-// Flush writes every entry with content back to the on-disk tier and
-// returns how many files it wrote. Memory-only stores flush nothing.
-// Writes are atomic (temp file + rename) so a crashed or concurrent flush
-// never leaves a torn file for the corruption-tolerant loader to trip on.
+// load absorbs the entry's persisted payload if one exists and is
+// trustworthy. Runs once per entry, outside the store mutex.
+func (s *Store) load(ctx context.Context, e *Entry) {
+	data, err := s.backend.Read(ctx, e.fp)
+	if err != nil {
+		// Miss, backend failure or caller cancellation: start cold. A
+		// cache may cost probes, never block them.
+		return
+	}
+	f, err := decodeFile(data, e.fp)
+	if err != nil {
+		s.note(&s.skipped)
+		return
+	}
+	e.mu.Lock()
+	aerr := e.periods.absorb(f.Periods)
+	if aerr != nil {
+		// Partially absorbed verdicts are safe individually (each is an
+		// independent fact), but the payload as a whole is untrusted:
+		// reset.
+		e.periods = NewPeriods()
+	} else {
+		// The frontier snapshot needs the caller's buffer order to
+		// validate, so it stays pending until Entry.Frontier is called.
+		e.pending = f.Frontier
+	}
+	e.mu.Unlock()
+	if aerr != nil {
+		s.note(&s.skipped)
+	} else {
+		s.note(&s.loaded)
+	}
+}
+
+func (s *Store) note(counter *int) {
+	s.mu.Lock()
+	*counter++
+	s.mu.Unlock()
+}
+
+// Flush writes every entry with content back to the persistence tier and
+// returns how many payloads it wrote. Memory-only stores flush nothing.
 func (s *Store) Flush() (written int, err error) {
-	if s.dir == "" {
+	return s.FlushContext(context.Background())
+}
+
+// FlushContext is Flush bounded by a caller Context. Each entry is
+// merged with the payload currently persisted under its fingerprint —
+// two replicas flushing through one shared store lose neither side's
+// verdicts — and written back sealed with a fresh checksum.
+func (s *Store) FlushContext(ctx context.Context) (written int, err error) {
+	if s.backend == nil {
 		return 0, nil
 	}
 	s.mu.Lock()
@@ -135,39 +248,28 @@ func (s *Store) Flush() (written int, err error) {
 		entries = append(entries, e)
 	}
 	s.mu.Unlock()
-	// Deterministic write order: a flush must touch files in the same order
-	// every run, or two flushes racing over the same directory could
+	// Deterministic write order: a flush must touch payloads in the same
+	// order every run, or two flushes racing over the same tier could
 	// interleave differently run to run.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].fp < entries[j].fp })
-	if len(entries) == 0 {
-		return 0, nil
-	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return 0, fmt.Errorf("probecache: create cache dir: %w", err)
-	}
 	for _, e := range entries {
 		f := e.file()
 		if f.Frontier == nil && len(f.Periods) == 0 {
 			continue
 		}
-		data, err := json.MarshalIndent(f, "", "  ")
+		if data, rerr := s.backend.Read(ctx, e.fp); rerr == nil {
+			if theirs, derr := decodeFile(data, e.fp); derr == nil {
+				f = mergeFiles(f, theirs)
+			}
+			// An untrusted persisted payload is simply overwritten.
+		} else if errors.Is(rerr, budget.ErrCanceled) || errors.Is(rerr, budget.ErrBudgetExceeded) {
+			return written, rerr
+		}
+		data, err := seal(f)
 		if err != nil {
 			return written, fmt.Errorf("probecache: encode %s: %w", e.fp, err)
 		}
-		tmp, err := os.CreateTemp(s.dir, e.fp+".tmp*")
-		if err != nil {
-			return written, fmt.Errorf("probecache: write %s: %w", e.fp, err)
-		}
-		_, werr := tmp.Write(append(data, '\n'))
-		cerr := tmp.Close()
-		if werr == nil {
-			werr = cerr
-		}
-		if werr == nil {
-			werr = os.Rename(tmp.Name(), s.path(e.fp))
-		}
-		if werr != nil {
-			_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error wins
+		if werr := s.backend.Write(ctx, e.fp, data); werr != nil {
 			return written, fmt.Errorf("probecache: write %s: %w", e.fp, werr)
 		}
 		written++
@@ -175,21 +277,65 @@ func (s *Store) Flush() (written int, err error) {
 	return written, nil
 }
 
+// mergeFiles folds a replica's persisted payload (theirs, already
+// version/fingerprint/checksum-validated) into the payload about to be
+// written (ours). Persisted data stays advisory: theirs is absorbed
+// wholesale or dropped wholesale, and on any conflict — an exact-period
+// disagreement, a mismatched buffer order, a monotonicity contradiction —
+// ours wins, because ours was computed in this process and theirs may be
+// stale or poisoned.
+func mergeFiles(ours, theirs diskFile) diskFile {
+	if len(theirs.Periods) > 0 {
+		p := NewPeriods()
+		// Theirs first, ours second: Insert overwrites, so our verdict
+		// wins any exact-period conflict.
+		if p.absorb(theirs.Periods) == nil && p.absorb(ours.Periods) == nil {
+			ours.Periods = p.snapshot()
+		}
+	}
+	if theirs.Frontier != nil {
+		if ours.Frontier == nil {
+			fr := NewFrontier(theirs.Frontier.Buffers)
+			if fr.absorb(*theirs.Frontier) == nil {
+				snap := fr.snapshot()
+				ours.Frontier = &snap
+			}
+		} else {
+			fr := NewFrontier(ours.Frontier.Buffers)
+			if fr.absorb(*ours.Frontier) == nil && fr.absorb(*theirs.Frontier) == nil {
+				snap := fr.snapshot()
+				ours.Frontier = &snap
+			}
+		}
+	}
+	return ours
+}
+
 // StoreStats aggregates a store's cache effectiveness for reporting.
 type StoreStats struct {
 	Entries int   // distinct fingerprints touched
-	Loaded  int   // files warm-started from disk
-	Skipped int   // files present but untrusted (bad version, corrupt, ...)
+	Loaded  int   // payloads warm-started from the backend
+	Skipped int   // payloads present but untrusted (bad version, corrupt, ...)
 	Hits    int64 // lookups answered from cache across all entries
 	Misses  int64 // lookups that had to compute
+	// Backend describes the persistence tier ("" for memory-only).
+	Backend string
+	// Resilience carries the fault-tolerance counters when the backend
+	// is a cachestore.Resilient wrapper (demotions, breaker state, ...).
+	Resilience *cachestore.Stats
 }
 
 // Stats returns the store's aggregate counters.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := StoreStats{Entries: len(s.entries), Loaded: s.loaded, Skipped: s.skipped}
+	entries := make([]*Entry, 0, len(s.entries))
 	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].fp < entries[j].fp })
+	for _, e := range entries {
 		e.mu.Lock()
 		if e.frontier != nil {
 			h, m := e.frontier.Counters()
@@ -201,6 +347,13 @@ func (s *Store) Stats() StoreStats {
 		st.Misses += m
 		e.mu.Unlock()
 	}
+	if s.backend != nil {
+		st.Backend = s.backend.String()
+		if r, ok := s.backend.(*cachestore.Resilient); ok {
+			rs := r.Stats()
+			st.Resilience = &rs
+		}
+	}
 	return st
 }
 
@@ -208,8 +361,9 @@ func (s *Store) Stats() StoreStats {
 // frontier for minimization probes and a period-verdict cache for sweeps.
 type Entry struct {
 	fp       string
+	loadOnce sync.Once
 	mu       sync.Mutex
-	pending  *frontierSnapshot // loaded from disk, not yet validated
+	pending  *frontierSnapshot // loaded from the backend, not yet validated
 	frontier *Frontier
 	periods  *Periods
 }
@@ -218,7 +372,7 @@ type Entry struct {
 func (e *Entry) Fingerprint() string { return e.fp }
 
 // Frontier returns the entry's capacity frontier over the given buffer
-// order, creating it on first use and absorbing any pending on-disk
+// order, creating it on first use and absorbing any pending persisted
 // snapshot that matches. All callers sharing an entry must agree on the
 // buffer order; a mismatch is an error because mixing projections would
 // corrupt the dominance test.
@@ -234,7 +388,7 @@ func (e *Entry) Frontier(buffers []string) (*Frontier, error) {
 	}
 	e.frontier = NewFrontier(buffers)
 	if e.pending != nil {
-		// Advisory on-disk data: absorb when consistent, drop wholesale
+		// Advisory persisted data: absorb when consistent, drop wholesale
 		// otherwise — a partially contradictory snapshot is untrusted in
 		// full, so the half absorbed before the contradiction goes too.
 		if e.frontier.absorb(*e.pending) != nil {

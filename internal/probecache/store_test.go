@@ -128,9 +128,12 @@ func TestStoreIgnoresUntrustedFiles(t *testing.T) {
 	key := GraphKey(g, "test")
 	buffers := []string{"wa->wb"}
 
+	// write seals the file like a real Flush would (the checksum is
+	// computed over whatever Version/Fingerprint the case supplies), so
+	// each case exercises the one validation layer it is about.
 	write := func(t *testing.T, dir string, f diskFile) {
 		t.Helper()
-		data, err := json.Marshal(f)
+		data, err := seal(f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,6 +201,175 @@ func TestStoreIgnoresUntrustedFiles(t *testing.T) {
 			Frontier: &frontierSnapshot{Buffers: []string{"other"}, Feasible: [][]int64{{2}}}})
 		expectCold(t, dir)
 	})
+	t.Run("missing-checksum", func(t *testing.T) {
+		dir := t.TempDir()
+		data, err := json.Marshal(diskFile{Version: Version, Fingerprint: key,
+			Periods: []periodRecord{{Num: 1, Den: 1, Valid: true}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectCold(t, dir)
+	})
+	t.Run("checksum-mismatch", func(t *testing.T) {
+		// A flipped digit in a Total parses fine and is monotonically
+		// plausible — only the content checksum can catch it. This is the
+		// corruption the chaos schedules inject.
+		dir := t.TempDir()
+		good := diskFile{Version: Version, Fingerprint: key,
+			Periods: []periodRecord{{Num: 3, Den: 1, Valid: true, Total: 7}}}
+		sum, err := sumOf(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good.Sum = sum
+		good.Periods[0].Total = 8 // corrupt AFTER sealing
+		data, err := json.Marshal(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectCold(t, dir)
+		if st := NewStoreLoaded(t, dir, key, buffers); st.Skipped != 1 {
+			t.Errorf("skipped = %d, want 1", st.Skipped)
+		}
+	})
+}
+
+// TestStoreToleratesTruncationAtEveryByte flushes a real entry, then
+// truncates the persisted file at every possible length: every prefix
+// must load as either a trusted full file (only the full length) or a
+// cold start — never an error, never partial trust.
+func TestStoreToleratesTruncationAtEveryByte(t *testing.T) {
+	g := pairGraph(t)
+	key := GraphKey(g, "truncate")
+	buffers := []string{"wa->wb"}
+
+	dir := t.TempDir()
+	s := NewStore(dir)
+	e := s.Entry(key)
+	f, err := e.Frontier(buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(map[string]int64{"wa->wb": 4}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(map[string]int64{"wa->wb": 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	e.Periods().Insert(r(3, 1), Verdict{Valid: true, Total: 7})
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for n := 0; n <= len(full); n++ {
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		warm := NewStore(dir)
+		we := warm.Entry(key)
+		wf, err := we.Frontier(buffers)
+		if err != nil {
+			t.Fatalf("truncated at %d/%d bytes: Frontier errored: %v", n, len(full), err)
+		}
+		st := warm.Stats()
+		feas, inf := wf.Size()
+		switch {
+		case st.Loaded == 1:
+			// Trusting a prefix is only sound when it is semantically the
+			// whole file (e.g. only the trailing newline is gone): the
+			// checksum re-verifies from the parsed content, so a trusted
+			// load must reproduce EVERYTHING — all-or-nothing, by
+			// construction.
+			if feas != 1 || inf != 1 || we.Periods().Len() != 1 {
+				t.Fatalf("truncated at %d/%d bytes half-trusted: frontier (%d, %d), periods %d",
+					n, len(full), feas, inf, we.Periods().Len())
+			}
+			if v, ok := we.Periods().Lookup(r(3, 1)); !ok || !v.Valid || v.Total != 7 {
+				t.Fatalf("truncated at %d/%d bytes loaded an altered verdict: (%+v, %v)", n, len(full), v, ok)
+			}
+		case st.Loaded == 0 && feas+inf == 0 && we.Periods().Len() == 0:
+			// Cold start: the truncation was detected and ignored.
+		default:
+			t.Fatalf("truncated at %d/%d bytes was part-trusted: stats %+v, frontier (%d, %d), periods %d",
+				n, len(full), st, feas, inf, we.Periods().Len())
+		}
+	}
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st := NewStoreLoaded(t, dir, key, buffers); st.Loaded != 1 {
+		t.Fatalf("restored full file did not warm-start: %+v", st)
+	}
+}
+
+// TestFlushMergesConcurrentReplicas drives two stores over one shared
+// backend directory — the two-replica topology — and checks a flush
+// folds in what the other replica persisted instead of overwriting it.
+func TestFlushMergesConcurrentReplicas(t *testing.T) {
+	g := pairGraph(t)
+	key := GraphKey(g, "merge")
+	buffers := []string{"wa->wb"}
+	dir := t.TempDir()
+
+	a, b := NewStore(dir), NewStore(dir)
+	af, err := a.Entry(key).Frontier(buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := b.Entry(key).Frontier(buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica A learns a feasible point and a period verdict; replica B
+	// learns an infeasible point and a different period verdict.
+	if err := af.Insert(map[string]int64{"wa->wb": 5}, true); err != nil {
+		t.Fatal(err)
+	}
+	a.Entry(key).Periods().Insert(r(3, 1), Verdict{Valid: true, Total: 5})
+	if err := bf.Insert(map[string]int64{"wa->wb": 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	b.Entry(key).Periods().Insert(r(1, 2), Verdict{Valid: false})
+
+	if _, err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewStore(dir)
+	wf, err := warm.Entry(key).Frontier(buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feasible, hit := wf.Lookup(map[string]int64{"wa->wb": 9}); !hit || !feasible {
+		t.Errorf("replica A's feasible verdict lost in merge: (%v, %v)", feasible, hit)
+	}
+	if feasible, hit := wf.Lookup(map[string]int64{"wa->wb": 1}); !hit || feasible {
+		t.Errorf("replica B's infeasible verdict lost in merge: (%v, %v)", feasible, hit)
+	}
+	p := warm.Entry(key).Periods()
+	if v, ok := p.Lookup(r(3, 1)); !ok || !v.Valid || v.Total != 5 {
+		t.Errorf("replica A's period verdict lost in merge: (%+v, %v)", v, ok)
+	}
+	if v, ok := p.Lookup(r(1, 2)); !ok || v.Valid {
+		t.Errorf("replica B's period verdict lost in merge: (%+v, %v)", v, ok)
+	}
+	if err := wf.SelfCheck(); err != nil {
+		t.Errorf("merged frontier fails self-check: %v", err)
+	}
 }
 
 // NewStoreLoaded opens a store, touches the entry and returns the stats;

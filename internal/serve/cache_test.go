@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/cachestore"
+)
+
+// TestServeCacheEndpoints pins the /v1/cache surface mounted by Config.
+// CacheBackend: protocol round-trip, typed limit statuses, 404 when no
+// backend is configured, and the CacheOps /statsz counter.
+func TestServeCacheEndpoints(t *testing.T) {
+	mem := cachestore.NewMem()
+	s := newTestServer(t, Config{CacheBackend: mem, MaxCacheEntries: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	fp := strings.Repeat("5a", 32)
+	fp2 := strings.Repeat("6b", 32)
+
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := do(http.MethodGet, "/v1/cache/"+fp, ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET miss = %d, want 404", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, "/v1/cache/"+fp, `{"v":1}`); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT = %d, want 204", resp.StatusCode)
+	}
+	resp := do(http.MethodGet, "/v1/cache/"+fp, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET = %d, want 200", resp.StatusCode)
+	}
+	if data, _ := io.ReadAll(resp.Body); string(data) != `{"v":1}` {
+		t.Fatalf("GET body = %q", data)
+	}
+	// MaxCacheEntries guards the tier with a typed 507.
+	if resp := do(http.MethodPut, "/v1/cache/"+fp2, `{"v":2}`); resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("PUT into full store = %d, want 507", resp.StatusCode)
+	}
+	if resp := do(http.MethodGet, "/v1/cache/not-a-fingerprint", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET bad fingerprint = %d, want 400", resp.StatusCode)
+	}
+
+	resp = do(http.MethodGet, "/statsz", "")
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheOps < 5 {
+		t.Errorf("CacheOps = %d, want >= 5", st.CacheOps)
+	}
+}
+
+func TestServeCacheDisabledIs404(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/cache/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET with no backend = %d, want 404", resp.StatusCode)
+	}
+}
