@@ -1,0 +1,64 @@
+// Package dispatch exercises the analyzer over the sweep coordinator's
+// loop shapes: a worker loop draining shard queues and a probe loop over a
+// period batch must consult the sweep's budget, so a coordinator facing a
+// dead fleet can never outlive its caller.
+package dispatch
+
+import "context"
+
+type shard struct{ idxs []int }
+
+type prober interface {
+	Probe(ctx context.Context, idx int) (bool, error)
+}
+
+func take() *shard { return nil }
+
+// --- allowed: the drain loop checks the context every round ---
+
+func runWorker(ctx context.Context, p prober) error {
+	for { // ok: consults ctx.Err before every shard
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sh := take()
+		if sh == nil {
+			return nil
+		}
+		for _, i := range sh.idxs {
+			if err := ctx.Err(); err != nil { // ok: budget touch per probe
+				return err
+			}
+			if _, err := p.Probe(ctx, i); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// --- flagged: a drain loop that spins until the queue empties ---
+
+func drainForever(ctx context.Context, p prober) {
+	for { // want `unbudgeted loop: the body never consults a budget or context`
+		sh := take()
+		if sh == nil {
+			return
+		}
+		_ = sh
+	}
+}
+
+// --- flagged: probing a whole batch with no budget touch per period ---
+
+type rawProber interface {
+	Probe(idx int) (bool, error)
+}
+
+func probeBatch(p rawProber, sh *shard) error {
+	for _, i := range sh.idxs { // want `unbudgeted loop: the body never consults a budget or context`
+		if _, err := p.Probe(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

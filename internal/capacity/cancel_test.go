@@ -41,7 +41,7 @@ func TestSweepCanceled(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
 		_, err := SweepPeriodsOpt(g, "wb", sweepPeriodList(), PolicyEquation4,
-			SweepOptions{Workers: workers, Context: ctx})
+			SweepOptions{Parallel: workers, Context: ctx})
 		if !errors.Is(err, budget.ErrCanceled) {
 			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
 		}
@@ -54,7 +54,7 @@ func TestSweepDeadlineExceeded(t *testing.T) {
 	for _, workers := range []int{1, 0} {
 		before := runtime.NumGoroutine()
 		_, err := SweepPeriodsOpt(g, "wb", sweepPeriodList(), PolicyEquation4,
-			SweepOptions{Workers: workers, Deadline: time.Now().Add(-time.Second)})
+			SweepOptions{Parallel: workers, Deadline: time.Now().Add(-time.Second)})
 		if !errors.Is(err, budget.ErrBudgetExceeded) {
 			t.Fatalf("workers=%d: err = %v, want ErrBudgetExceeded", workers, err)
 		}

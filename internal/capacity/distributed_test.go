@@ -1,0 +1,190 @@
+// End-to-end distributed-sweep tests: real serve.Server workers behind
+// httptest listeners, driven through capacity.SweepOptions.Workers — the
+// exact stack `vrdfcap -workers` uses. The external test package breaks
+// the capacity ← serve import cycle.
+package capacity_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"vrdfcap/internal/capacity"
+	"vrdfcap/internal/dispatch"
+	"vrdfcap/internal/graphio"
+	"vrdfcap/internal/probecache"
+	"vrdfcap/internal/ratio"
+	"vrdfcap/internal/serve"
+	"vrdfcap/internal/taskgraph"
+)
+
+// pairDoc is the paper's Figure 1 producer-consumer pair.
+const pairDoc = `task a wcrt 1
+task b wcrt 1
+buffer a -> b prod 3 cons {2,3}
+constraint b period 3
+`
+
+func decodePair(t *testing.T) (*taskgraph.Graph, *taskgraph.Constraint) {
+	t.Helper()
+	g, c, err := graphio.DecodeAnyLimited([]byte(pairDoc), graphio.DefaultLimits)
+	if err != nil {
+		t.Fatalf("decode pair: %v", err)
+	}
+	if c == nil {
+		t.Fatal("pair document has no constraint")
+	}
+	return g, c
+}
+
+// pairGrid straddles the pair's feasibility frontier so a sweep mixes
+// infeasible and feasible verdicts.
+func pairGrid(n int) []ratio.Rat {
+	out := make([]ratio.Rat, n)
+	for i := range out {
+		out[i] = ratio.MustNew(int64(i+4), 4) // 1, 5/4, ..., upward through 3
+	}
+	return out
+}
+
+// newWorker boots a real capacity-analysis service on a loopback listener
+// and returns its base URL.
+func newWorker(t *testing.T) string {
+	t.Helper()
+	s := serve.New(serve.Config{Store: probecache.NewStore("")})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// mustMatchPoints compares two sweeps on the (period, valid, total)
+// triples — the identity surface; distributed points carry a nil Result.
+func mustMatchPoints(t *testing.T, got, want []capacity.SweepPoint) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if !w.Period.Equal(g.Period) || w.Valid != g.Valid || w.Total != g.Total {
+			t.Fatalf("point %d: got (%s valid=%v total=%d), want (%s valid=%v total=%d)",
+				i, g.Period, g.Valid, g.Total, w.Period, w.Valid, w.Total)
+		}
+	}
+}
+
+// TestDistributedSweepMatchesLocal pins the happy path over the real HTTP
+// stack: three workers, every period answered remotely, result identical
+// to the single-machine sweep.
+func TestDistributedSweepMatchesLocal(t *testing.T) {
+	g, c := decodePair(t)
+	periods := pairGrid(24)
+	baseline, err := capacity.SweepPeriodsOpt(g, c.Task, periods, capacity.PolicyEquation4,
+		capacity.SweepOptions{Parallel: 1, NoCache: true})
+	if err != nil {
+		t.Fatalf("baseline sweep: %v", err)
+	}
+	workers := []string{newWorker(t), newWorker(t), newWorker(t)}
+	stats := &dispatch.Stats{}
+	got, err := capacity.SweepPeriodsOpt(g, c.Task, periods, capacity.PolicyEquation4,
+		capacity.SweepOptions{Workers: workers, DispatchStats: stats, NoCache: true})
+	if err != nil {
+		t.Fatalf("distributed sweep: %v", err)
+	}
+	mustMatchPoints(t, got, baseline)
+	for _, pt := range got {
+		if pt.Result != nil {
+			t.Fatal("distributed points must carry a nil Result")
+		}
+	}
+	sn := stats.Snapshot()
+	var remote int64
+	for _, w := range sn.Workers {
+		remote += w.Periods
+	}
+	if remote+sn.LocalPeriods != int64(len(periods)) {
+		t.Fatalf("remote %d + local %d periods != grid %d\n%s", remote, sn.LocalPeriods, len(periods), sn)
+	}
+	if sn.LocalPeriods != 0 {
+		t.Fatalf("healthy fleet fell back locally:\n%s", sn)
+	}
+}
+
+// TestDistributedSweepWorkerKilledMidSweep pins the tentpole fault case
+// over real HTTP: one of three workers answers exactly one probe batch and
+// then drops every connection; the folded sweep must still equal the
+// single-machine run.
+func TestDistributedSweepWorkerKilledMidSweep(t *testing.T) {
+	g, c := decodePair(t)
+	periods := pairGrid(32)
+	baseline, err := capacity.SweepPeriodsOpt(g, c.Task, periods, capacity.PolicyEquation4,
+		capacity.SweepOptions{Parallel: 1, NoCache: true})
+	if err != nil {
+		t.Fatalf("baseline sweep: %v", err)
+	}
+
+	s := serve.New(serve.Config{Store: probecache.NewStore("")})
+	t.Cleanup(s.Close)
+	var killed atomic.Bool
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == dispatch.ProbePath {
+			if killed.Load() {
+				// The process is gone: every later probe fails hard.
+				http.Error(w, "worker killed", http.StatusBadGateway)
+				return
+			}
+			defer killed.Store(true)
+		}
+		s.ServeHTTP(w, r)
+	}))
+	t.Cleanup(dying.Close)
+
+	workers := []string{newWorker(t), newWorker(t), dying.URL}
+	stats := &dispatch.Stats{}
+	got, err := capacity.SweepPeriodsOpt(g, c.Task, periods, capacity.PolicyEquation4,
+		capacity.SweepOptions{Workers: workers, DispatchStats: stats, NoCache: true})
+	if err != nil {
+		t.Fatalf("distributed sweep with dying worker: %v", err)
+	}
+	mustMatchPoints(t, got, baseline)
+}
+
+// TestDistributedSweepAllWorkersDead pins graceful degradation over real
+// sockets: every worker URL points at a closed listener (connection
+// refused), and the sweep still returns the exact local result.
+func TestDistributedSweepAllWorkersDead(t *testing.T) {
+	g, c := decodePair(t)
+	periods := pairGrid(12)
+	baseline, err := capacity.SweepPeriodsOpt(g, c.Task, periods, capacity.PolicyEquation4,
+		capacity.SweepOptions{Parallel: 1, NoCache: true})
+	if err != nil {
+		t.Fatalf("baseline sweep: %v", err)
+	}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close() // nothing listens here any more
+	stats := &dispatch.Stats{}
+	got, err := capacity.SweepPeriodsOpt(g, c.Task, periods, capacity.PolicyEquation4,
+		capacity.SweepOptions{Workers: []string{url}, DispatchStats: stats, NoCache: true})
+	if err != nil {
+		t.Fatalf("distributed sweep with dead fleet: %v", err)
+	}
+	mustMatchPoints(t, got, baseline)
+	if sn := stats.Snapshot(); sn.LocalPeriods != int64(len(periods)) {
+		t.Fatalf("dead fleet: local fallback computed %d periods, want all %d\n%s",
+			sn.LocalPeriods, len(periods), sn)
+	}
+}
+
+// TestDistributedSweepBadWorkerURL pins the fail-fast contract: a
+// malformed worker URL is a configuration error, not a degraded sweep.
+func TestDistributedSweepBadWorkerURL(t *testing.T) {
+	g, c := decodePair(t)
+	_, err := capacity.SweepPeriodsOpt(g, c.Task, pairGrid(4), capacity.PolicyEquation4,
+		capacity.SweepOptions{Workers: []string{"ftp://nope"}, NoCache: true})
+	if err == nil {
+		t.Fatal("want an error for a non-http worker URL")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vrdfcap/internal/budget"
+	"vrdfcap/internal/dispatch"
 	"vrdfcap/internal/parallel"
 	"vrdfcap/internal/probecache"
 	"vrdfcap/internal/ratio"
@@ -29,12 +30,29 @@ type SweepPoint struct {
 
 // SweepOptions tunes SweepPeriodsOpt and MinimalFeasiblePeriodOpt.
 type SweepOptions struct {
-	// Workers bounds the number of periods analysed concurrently: 0
-	// selects GOMAXPROCS, 1 forces the serial path. Every period is an
-	// independent pure computation, so the results — ordering, values and
-	// the error reported on a bad period — are identical for every
-	// setting (see internal/parallel for the first-error contract).
-	Workers int
+	// Parallel bounds the number of periods analysed concurrently on this
+	// machine: 0 selects GOMAXPROCS, 1 forces the serial path. Every
+	// period is an independent pure computation, so the results —
+	// ordering, values and the error reported on a bad period — are
+	// identical for every setting (see internal/parallel for the
+	// first-error contract).
+	Parallel int
+	// Workers, when non-empty, lists remote vrdfserve base URLs
+	// ("http://host:8080") and switches SweepPeriodsOpt to the
+	// internal/dispatch coordinator: the grid is cut into interleaved
+	// shards driven over each worker's /v1/probe endpoint, with retries,
+	// per-worker circuit breaking, work stealing and a local fallback for
+	// anything no worker answers. Every probe is the same pure function
+	// wherever it runs, so the points' Period/Valid/Total are identical
+	// to a local sweep under every fault schedule; remote points carry a
+	// nil Result. Parallel and Workers are independent: Parallel governs
+	// the local path (and the coordinator's fallback probes run
+	// serially). MinimalFeasiblePeriodOpt ignores Workers — a binary
+	// search probes one period at a time, which batching cannot help.
+	Workers []string
+	// DispatchStats, if non-nil, accumulates the coordinator's per-worker
+	// shard/retry/steal counters across distributed sweeps.
+	DispatchStats *dispatch.Stats
 	// Context, if non-nil, cancels the sweep cooperatively between
 	// periods; the typed error satisfies budget.ErrCanceled.
 	Context context.Context
@@ -97,6 +115,9 @@ func SweepPeriodsOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Pol
 		return nil, err
 	}
 	cache := opts.cache(g, task, p)
+	if len(opts.Workers) > 0 {
+		return sweepDistributed(g, task, periods, p, a, cache, opts)
+	}
 	bud := budget.At(opts.Context, opts.Deadline)
 	eval := func(i int) (SweepPoint, error) {
 		if err := bud.Err(); err != nil {
@@ -120,7 +141,7 @@ func SweepPeriodsOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Pol
 		}
 		return pt, nil
 	}
-	if parallel.Workers(opts.Workers) == 1 {
+	if parallel.Workers(opts.Parallel) == 1 {
 		out := make([]SweepPoint, 0, len(periods))
 		for i := range periods {
 			pt, err := eval(i)
@@ -135,7 +156,7 @@ func SweepPeriodsOpt(g *taskgraph.Graph, task string, periods []ratio.Rat, p Pol
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	pts, err := parallel.Map(ctx, opts.Workers, len(periods), eval)
+	pts, err := parallel.Map(ctx, opts.Parallel, len(periods), eval)
 	if err != nil {
 		return nil, budget.Classify(err)
 	}

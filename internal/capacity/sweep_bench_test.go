@@ -41,7 +41,7 @@ func benchmarkSweep(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pts, err := SweepPeriodsOpt(fx.g, fx.task, periods, PolicyEquation4,
-			SweepOptions{Workers: workers, NoCache: true})
+			SweepOptions{Parallel: workers, NoCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}

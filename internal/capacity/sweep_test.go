@@ -138,11 +138,11 @@ func TestSweepSerialParallelEquivalence(t *testing.T) {
 		for k := int64(2); k < 18; k++ {
 			periods = append(periods, c.Period.MulInt(k).DivInt(8))
 		}
-		serial, err := SweepPeriodsOpt(g, c.Task, periods, PolicyEquation4, SweepOptions{Workers: 1})
+		serial, err := SweepPeriodsOpt(g, c.Task, periods, PolicyEquation4, SweepOptions{Parallel: 1})
 		if err != nil {
 			t.Fatalf("seed %d serial: %v", seed, err)
 		}
-		par, err := SweepPeriodsOpt(g, c.Task, periods, PolicyEquation4, SweepOptions{Workers: 8})
+		par, err := SweepPeriodsOpt(g, c.Task, periods, PolicyEquation4, SweepOptions{Parallel: 8})
 		if err != nil {
 			t.Fatalf("seed %d parallel: %v", seed, err)
 		}
@@ -160,8 +160,8 @@ func TestSweepErrorDeterminism(t *testing.T) {
 	// An unknown task makes Compute fail for every period; the reported
 	// period must be the first one in list order either way.
 	periods := []ratio.Rat{r(5, 1), r(7, 1), r(9, 1)}
-	_, serialErr := SweepPeriodsOpt(g, "nope", periods, PolicyEquation4, SweepOptions{Workers: 1})
-	_, parErr := SweepPeriodsOpt(g, "nope", periods, PolicyEquation4, SweepOptions{Workers: 8})
+	_, serialErr := SweepPeriodsOpt(g, "nope", periods, PolicyEquation4, SweepOptions{Parallel: 1})
+	_, parErr := SweepPeriodsOpt(g, "nope", periods, PolicyEquation4, SweepOptions{Parallel: 8})
 	if serialErr == nil || parErr == nil {
 		t.Fatalf("expected errors, got %v and %v", serialErr, parErr)
 	}

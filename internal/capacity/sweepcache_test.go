@@ -49,7 +49,7 @@ func TestSweepCanceledWarmCacheReusable(t *testing.T) {
 	cache := probecache.NewPeriods()
 
 	_, err := SweepPeriodsOpt(g, "wb", periods, PolicyEquation4,
-		SweepOptions{Workers: 1, Context: newCountdownCtx(17), Cache: cache})
+		SweepOptions{Parallel: 1, Context: newCountdownCtx(17), Cache: cache})
 	if !errors.Is(err, budget.ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}

@@ -1,0 +1,574 @@
+// Package dispatch shards one period sweep across remote vrdfserve
+// workers and folds their verdicts back into a single result that is
+// byte-identical to a single-machine run.
+//
+// The paper answers one period probe at a time; real deployments sweep
+// whole period grids, and parametric-rate analyses explode one sweep into
+// thousands of grid points. Every probe is a pure, deterministic function
+// of (graph, task, policy, period), which makes the sweep embarrassingly
+// parallel AND makes correctness easy to state: wherever a probe runs —
+// worker 1, worker 2, or the coordinator's own fallback — it returns the
+// same verdict, so the folded sweep must equal the single-machine sweep
+// under EVERY fault schedule. The chaos suite pins exactly that.
+//
+// The coordinator's shape:
+//
+//   - The grid is partitioned into interleaved shards (shard s takes
+//     periods s, s+S, s+2S, ...), so every shard spans the whole monotone
+//     frontier: early returns insert exact verdicts spread across the grid
+//     into the shared probecache frontier, and any shard that is retried,
+//     stolen or finished locally skips the periods those returns already
+//     decided.
+//   - Each worker owns a queue of shards; a worker that drains its own
+//     queue steals from the back of the longest remaining queue — which is
+//     exactly the slowest (or dead) worker's.
+//   - Robustness reuses the internal/cachestore vocabulary: per-shard
+//     attempt deadlines, bounded retries with seeded jittered exponential
+//     backoff, and a per-worker circuit breaker that demotes a worker
+//     after a streak of failed shards. A failed shard is reassigned to the
+//     least-loaded live worker; a shard that has failed on every worker —
+//     or is left over when every worker is demoted — is finished by the
+//     coordinator's local prober. Demotion lasts for the remainder of the
+//     sweep (a sweep lives for seconds; cross-sweep health is the next
+//     sweep's to rediscover).
+//
+// Caller cancellation and wall-clock budgets are typed budget errors and
+// abort the whole sweep promptly; they are never counted against a
+// worker's health.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vrdfcap/internal/budget"
+	"vrdfcap/internal/probecache"
+	"vrdfcap/internal/ratio"
+)
+
+// Options tunes a Sweep. The zero value selects production defaults;
+// negative values disable where noted.
+type Options struct {
+	// ShardsPerWorker is how many shards the grid is cut into per worker
+	// (0: 4). More shards mean finer-grained stealing and reassignment at
+	// the cost of more round trips.
+	ShardsPerWorker int
+	// MaxBatch caps the periods of one shard — one /v1/probe request —
+	// (0: 64, the serve default for -sweep-periods). Grids larger than
+	// workers × ShardsPerWorker × MaxBatch get extra shards.
+	MaxBatch int
+	// ShardTimeout bounds each remote attempt in wall-clock time
+	// (0: 10s; negative: unbounded). The sweep's Deadline and Context
+	// still apply on top.
+	ShardTimeout time.Duration
+	// Retries is the number of additional attempts per shard on the same
+	// worker (0: 2; negative: none). Exhausted retries count one failure
+	// against the worker and reassign the shard.
+	Retries int
+	// Backoff is the base delay before the first retry (0: 25ms), doubling
+	// up to MaxBackoff (0: 500ms), jittered by a deterministic factor in
+	// [0.5, 1.5) drawn from Seed so a fleet of coordinators retrying the
+	// same dead worker does not stampede in lockstep.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed selects the jitter stream; replicas should differ.
+	Seed uint64
+	// FailureThreshold is the streak of failed shards that demotes a
+	// worker for the remainder of the sweep (0: 3; negative: never).
+	FailureThreshold int
+	// Context, if non-nil, cancels the sweep cooperatively; the typed
+	// error satisfies budget.ErrCanceled.
+	Context context.Context
+	// Deadline, if non-zero, bounds the sweep in wall-clock time; the
+	// typed error satisfies budget.ErrBudgetExceeded.
+	Deadline time.Time
+	// Cache, if non-nil, is the shared period-verdict frontier: every
+	// folded verdict is inserted, and a shard skips periods the cache
+	// already answers with an EXACT verdict (a dominance answer decides
+	// validity but not the point's total capacity, so it cannot replace
+	// the probe). This is how a verdict folded from one worker cancels
+	// the same period everywhere — including shards later retried,
+	// stolen, or finished locally.
+	Cache *probecache.Periods
+	// Stats, if non-nil, accumulates per-worker shard/retry/steal
+	// counters across sweeps.
+	Stats *Stats
+	// Sleep is a test seam for the backoff delay (nil: a timer-backed
+	// sleep that aborts on Context cancellation).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShardsPerWorker <= 0 {
+		o.ShardsPerWorker = 4
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	switch {
+	case o.ShardTimeout == 0:
+		o.ShardTimeout = 10 * time.Second
+	case o.ShardTimeout < 0:
+		o.ShardTimeout = 0
+	}
+	switch {
+	case o.Retries == 0:
+		o.Retries = 2
+	case o.Retries < 0:
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 500 * time.Millisecond
+	}
+	switch {
+	case o.FailureThreshold == 0:
+		o.FailureThreshold = 3
+	case o.FailureThreshold < 0:
+		o.FailureThreshold = 0 // never demote
+	}
+	if o.Sleep == nil {
+		o.Sleep = sleepCtx
+	}
+	return o
+}
+
+// sleepCtx waits for d or until the context is cancelled, whichever comes
+// first — a retry loop must never outlive its caller.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if ctx == nil {
+		<-t.C
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// shard is one interleaved slice of the grid: the period indices it
+// covers and how many distinct workers have failed it so far.
+type shard struct {
+	idxs     []int
+	attempts int
+}
+
+// coordinator is the shared state of one Sweep.
+type coordinator struct {
+	periods []ratio.Rat
+	names   []string // prober String()s, index-aligned with queues
+
+	mu         sync.Mutex
+	queues     [][]*shard
+	orphans    []*shard // failed everywhere remote; local's to finish
+	demoted    []bool
+	failstreak []int
+	verdicts   []probecache.Verdict
+	done       []bool
+	err        error
+
+	jitterSeq atomic.Uint64
+}
+
+// Sweep probes every period of the grid across the given workers and
+// returns the verdicts index-aligned with the input. The result is the
+// same []Verdict a purely local evaluation produces, regardless of which
+// workers answered, failed, or died mid-sweep: any period a worker never
+// answers is computed by the local prober. The only sweep-level errors are
+// typed budget aborts (caller cancellation, exhausted deadline) and a
+// local-prober failure; worker misbehaviour is absorbed, counted, and
+// reported through Options.Stats.
+func Sweep(workers []Prober, local LocalProber, periods []ratio.Rat, opt Options) ([]probecache.Verdict, error) {
+	if len(periods) == 0 {
+		return nil, errors.New("dispatch: empty period sweep")
+	}
+	if len(workers) == 0 {
+		return nil, errors.New("dispatch: no workers (use the local sweep path instead)")
+	}
+	if local == nil {
+		return nil, errors.New("dispatch: nil local prober")
+	}
+	opt = opt.withDefaults()
+	opt.Stats.addSweep()
+	bud := budget.At(opt.Context, opt.Deadline)
+	c := &coordinator{
+		periods:    periods,
+		names:      make([]string, len(workers)),
+		queues:     make([][]*shard, len(workers)),
+		demoted:    make([]bool, len(workers)),
+		failstreak: make([]int, len(workers)),
+		verdicts:   make([]probecache.Verdict, len(periods)),
+		done:       make([]bool, len(periods)),
+	}
+	for w, p := range workers {
+		c.names[w] = p.String()
+	}
+	c.partition(len(workers), opt)
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.runWorker(w, workers[w], bud, opt)
+		}(w)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	err := c.err
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.finishLocal(local, bud, opt); err != nil {
+		return nil, err
+	}
+	return c.verdicts, nil
+}
+
+// partition cuts the grid into interleaved shards and deals them
+// round-robin into the per-worker queues: shard s covers indices
+// s, s+S, s+2S, ... so each shard samples the whole period range.
+func (c *coordinator) partition(nworkers int, opt Options) {
+	n := len(c.periods)
+	s := nworkers * opt.ShardsPerWorker
+	if min := (n + opt.MaxBatch - 1) / opt.MaxBatch; s < min {
+		s = min
+	}
+	if s > n {
+		s = n
+	}
+	for i := 0; i < s; i++ {
+		sh := &shard{}
+		for j := i; j < n; j += s {
+			sh.idxs = append(sh.idxs, j)
+		}
+		c.queues[i%nworkers] = append(c.queues[i%nworkers], sh)
+	}
+}
+
+// take pops the next shard for worker w: its own queue front first, then —
+// work stealing — the back of the longest other queue, which belongs to
+// the slowest (or demoted) worker. A nil return means no work is queued
+// anywhere and the worker should exit; shards that fail in flight after
+// that are finished locally.
+func (c *coordinator) take(w int, opt Options) *shard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil
+	}
+	if q := c.queues[w]; len(q) > 0 {
+		sh := q[0]
+		c.queues[w] = q[1:]
+		return sh
+	}
+	victim := -1
+	for v := range c.queues {
+		if v == w || len(c.queues[v]) == 0 {
+			continue
+		}
+		if victim == -1 || len(c.queues[v]) > len(c.queues[victim]) {
+			victim = v
+		}
+	}
+	if victim == -1 {
+		return nil
+	}
+	q := c.queues[victim]
+	sh := q[len(q)-1]
+	c.queues[victim] = q[:len(q)-1]
+	opt.Stats.addSteal(c.names[w])
+	return sh
+}
+
+// pending filters a shard down to the periods still worth probing:
+// indices already folded are dropped, and periods the shared frontier
+// answers with an exact verdict are folded as skipped work. Only exact
+// verdicts skip — a monotone-dominance answer decides validity but not
+// the point's total capacity.
+func (c *coordinator) pending(sh *shard, bud *budget.Budget, opt Options) (batch []ratio.Rat, idxs []int, err error) {
+	var skipped int64
+	for _, i := range sh.idxs {
+		if err := bud.Err(); err != nil {
+			return nil, nil, err
+		}
+		c.mu.Lock()
+		d := c.done[i]
+		c.mu.Unlock()
+		if d {
+			continue
+		}
+		if opt.Cache != nil {
+			if v, exact, hit := opt.Cache.Probe(c.periods[i]); hit && exact {
+				c.fold([]int{i}, []probecache.Verdict{v}, nil)
+				skipped++
+				continue
+			}
+		}
+		batch = append(batch, c.periods[i])
+		idxs = append(idxs, i)
+	}
+	opt.Stats.addSkipped(skipped)
+	return batch, idxs, nil
+}
+
+// fold records verdicts for the given period indices and inserts them
+// into the shared frontier (cache may be nil, and is skipped for verdicts
+// that just came FROM the cache).
+func (c *coordinator) fold(idxs []int, vs []probecache.Verdict, cache *probecache.Periods) {
+	c.mu.Lock()
+	for k, i := range idxs {
+		if !c.done[i] {
+			c.done[i] = true
+			c.verdicts[i] = vs[k]
+		}
+	}
+	c.mu.Unlock()
+	if cache != nil {
+		for k, i := range idxs {
+			cache.Insert(c.periods[i], vs[k])
+		}
+	}
+}
+
+// abort records the first budget error; later workers observe it in take.
+func (c *coordinator) abort(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// runWorker drains shards for worker w until no work is queued, the sweep
+// aborts, or the worker is demoted.
+func (c *coordinator) runWorker(w int, p Prober, bud *budget.Budget, opt Options) {
+	name := c.names[w]
+	for {
+		if err := bud.Err(); err != nil {
+			c.abort(err)
+			return
+		}
+		sh := c.take(w, opt)
+		if sh == nil {
+			return
+		}
+		batch, idxs, err := c.pending(sh, bud, opt)
+		if err != nil {
+			c.abort(err)
+			return
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		vs, failErr, abortErr := c.attempt(p, batch, bud, opt)
+		switch {
+		case abortErr != nil:
+			c.abort(abortErr)
+			return
+		case failErr != nil:
+			opt.Stats.addFailure(name)
+			if c.failShard(w, sh, opt) {
+				opt.Stats.addDemotion(name)
+				return
+			}
+		default:
+			c.fold(idxs, vs, opt.Cache)
+			opt.Stats.addShard(name, len(idxs))
+			c.mu.Lock()
+			c.failstreak[w] = 0
+			c.mu.Unlock()
+		}
+	}
+}
+
+// shardCtx derives the per-attempt context: the caller's context, capped
+// by the sweep deadline and the per-shard attempt timeout.
+func shardCtx(opt Options) (context.Context, context.CancelFunc) {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := func() {}
+	if !opt.Deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, opt.Deadline)
+	}
+	if opt.ShardTimeout > 0 {
+		prev := cancel
+		var c2 context.CancelFunc
+		ctx, c2 = context.WithTimeout(ctx, opt.ShardTimeout)
+		cancel = func() { c2(); prev() }
+	}
+	return ctx, cancel
+}
+
+// attempt runs one shard against one worker under the retry policy.
+// failErr reports a worker failure (retries exhausted — the worker's
+// fault); abortErr reports a caller-attributable abort (cancellation or
+// the sweep budget), which is never the worker's fault.
+func (c *coordinator) attempt(p Prober, batch []ratio.Rat, bud *budget.Budget, opt Options) (vs []probecache.Verdict, failErr, abortErr error) {
+	var lastErr error
+	for att := 0; att <= opt.Retries; att++ {
+		ctx, cancel := shardCtx(opt)
+		vs, err := p.Probe(ctx, batch)
+		cancel()
+		if err == nil {
+			return vs, nil, nil
+		}
+		if cerr := bud.Err(); cerr != nil {
+			// The CALLER's budget ended (the attempt timeout is a child;
+			// check the sweep-level budget): abort immediately — a hung-up
+			// caller must never be held for another backoff cycle.
+			return nil, nil, cerr
+		}
+		lastErr = err
+		if att < opt.Retries {
+			opt.Stats.addRetry(p.String())
+			if serr := opt.Sleep(opt.Context, c.backoffFor(att, opt)); serr != nil || bud.Err() != nil {
+				return nil, nil, budget.Classify(bud.Err())
+			}
+		}
+	}
+	return nil, lastErr, nil
+}
+
+// backoffFor returns the jittered delay before retry number att (0-based):
+// Backoff·2^att capped at MaxBackoff, scaled by a deterministic factor in
+// [0.5, 1.5) drawn from the seeded stream (same idiom as
+// cachestore.Resilient).
+func (c *coordinator) backoffFor(att int, opt Options) time.Duration {
+	d := opt.Backoff
+	for i := 0; i < att && d < opt.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > opt.MaxBackoff {
+		d = opt.MaxBackoff
+	}
+	x := splitmix64(opt.Seed ^ c.jitterSeq.Add(1))
+	return d/2 + time.Duration(x%uint64(d)) // d/2 + [0, d) = [0.5d, 1.5d)
+}
+
+// failShard records a failed shard for worker w: the worker's failure
+// streak grows (demoting it at the threshold), and the shard is
+// reassigned to the least-loaded live worker that has not already failed
+// it — or handed to the local tier when none remains. Reports whether
+// this failure demoted w.
+func (c *coordinator) failShard(w int, sh *shard, opt Options) (demoted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failstreak[w]++
+	if opt.FailureThreshold > 0 && c.failstreak[w] >= opt.FailureThreshold && !c.demoted[w] {
+		c.demoted[w] = true
+		demoted = true
+	}
+	sh.attempts++
+	if sh.attempts >= len(c.queues) {
+		c.orphans = append(c.orphans, sh)
+		return demoted
+	}
+	best := -1
+	for v := range c.queues {
+		if v == w || c.demoted[v] {
+			continue
+		}
+		if best == -1 || len(c.queues[v]) < len(c.queues[best]) {
+			best = v
+		}
+	}
+	if best == -1 {
+		c.orphans = append(c.orphans, sh)
+		return demoted
+	}
+	c.queues[best] = append(c.queues[best], sh)
+	opt.Stats.addReassigned()
+	return demoted
+}
+
+// finishLocal is the graceful-degradation tier: every period no worker
+// answered — leftover queues of demoted workers, shards that failed
+// everywhere, or the whole grid when every worker died — is computed by
+// the coordinator's own prober, so the sweep's result never depends on
+// worker health.
+func (c *coordinator) finishLocal(local LocalProber, bud *budget.Budget, opt Options) error {
+	c.mu.Lock()
+	shards := append([]*shard(nil), c.orphans...)
+	for w, q := range c.queues {
+		shards = append(shards, q...)
+		c.queues[w] = nil
+	}
+	c.orphans = nil
+	c.mu.Unlock()
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var localShards, localPeriods int64
+	for _, sh := range shards {
+		batch, idxs, err := c.pending(sh, bud, opt)
+		if err != nil {
+			return err
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		localShards++
+		for k, i := range idxs {
+			if err := bud.Err(); err != nil {
+				return err
+			}
+			v, err := local(ctx, batch[k])
+			if err != nil {
+				return err
+			}
+			c.fold([]int{i}, []probecache.Verdict{v}, opt.Cache)
+			localPeriods++
+		}
+	}
+	// Belt and braces: by construction every index lives in exactly one of
+	// done/queues/orphans/in-flight, but a cheap scan keeps the invariant
+	// independent of that bookkeeping.
+	for i := range c.done {
+		if err := bud.Err(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		d := c.done[i]
+		c.mu.Unlock()
+		if d {
+			continue
+		}
+		v, err := local(ctx, c.periods[i])
+		if err != nil {
+			return err
+		}
+		c.fold([]int{i}, []probecache.Verdict{v}, opt.Cache)
+		localPeriods++
+	}
+	opt.Stats.addLocal(localShards, localPeriods)
+	return nil
+}
+
+// splitmix64 is the finaliser of the splitmix64 generator — the same
+// bijective avalanche mix internal/faults and internal/cachestore use —
+// so (seed, sequence) pairs hash to independent uniform jitter draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,385 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vrdfcap/internal/budget"
+	"vrdfcap/internal/probecache"
+	"vrdfcap/internal/ratio"
+)
+
+// refVerdict is the reference probe function every prober and the local
+// fallback share: a pure, deterministic function of the period with
+// monotone validity (valid iff τ ≥ 1/2), so a sweep's correct answer is
+// independent of where each probe ran — the property the chaos suite
+// pins.
+func refVerdict(tau ratio.Rat) probecache.Verdict {
+	valid := !tau.Less(ratio.MustNew(1, 2))
+	total := tau.Num()*31 + tau.Den()*17
+	if !valid {
+		total = tau.Num() + tau.Den()
+	}
+	return probecache.Verdict{Valid: valid, Total: total}
+}
+
+// grid returns n distinct periods straddling the validity threshold.
+func grid(n int) []ratio.Rat {
+	out := make([]ratio.Rat, n)
+	for i := range out {
+		out[i] = ratio.MustNew(int64(i+1), int64(n))
+	}
+	return out
+}
+
+func expectedFor(periods []ratio.Rat) []probecache.Verdict {
+	out := make([]probecache.Verdict, len(periods))
+	for i, tau := range periods {
+		out[i] = refVerdict(tau)
+	}
+	return out
+}
+
+func refLocal(_ context.Context, tau ratio.Rat) (probecache.Verdict, error) {
+	return refVerdict(tau), nil
+}
+
+// faultSpec configures a faultyProber: deterministic faults drawn from the
+// seed and the per-prober call counter, same idiom as
+// cachestore/faultybackend.
+type faultSpec struct {
+	Seed uint64
+	// ErrorOneIn makes roughly one in n calls fail (0: never).
+	ErrorOneIn int
+	// DieAfter kills the prober permanently after it has ANSWERED n
+	// batches (0: never) — the mid-sweep crash case.
+	DieAfter int
+	// Partitioned fails every call — a worker that was never reachable.
+	Partitioned bool
+	// DelayOneIn delays roughly one in n calls by Delay (0: never) — the
+	// slow-worker case that work stealing drains around.
+	DelayOneIn int
+	Delay      time.Duration
+}
+
+const (
+	saltError = 0x9bdead
+	saltDelay = 0x51024e
+)
+
+func (s faultSpec) gate(k uint64, salt uint64, oneIn int) bool {
+	if oneIn <= 0 {
+		return false
+	}
+	if oneIn == 1 {
+		return true
+	}
+	return splitmix64(s.Seed^splitmix64(k)^salt)%uint64(oneIn) == 0
+}
+
+// faultyProber answers probes with refVerdict through a deterministic
+// fault schedule.
+type faultyProber struct {
+	name     string
+	spec     faultSpec
+	calls    atomic.Uint64
+	answered atomic.Int64
+}
+
+func (p *faultyProber) String() string { return p.name }
+
+func (p *faultyProber) Probe(ctx context.Context, periods []ratio.Rat) ([]probecache.Verdict, error) {
+	k := p.calls.Add(1)
+	if p.spec.Partitioned {
+		return nil, fmt.Errorf("%s: partitioned", p.name)
+	}
+	if p.spec.DieAfter > 0 && p.answered.Load() >= int64(p.spec.DieAfter) {
+		return nil, fmt.Errorf("%s: dead", p.name)
+	}
+	if p.spec.gate(k, saltDelay, p.spec.DelayOneIn) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(p.spec.Delay):
+		}
+	}
+	if p.spec.gate(k, saltError, p.spec.ErrorOneIn) {
+		return nil, fmt.Errorf("%s: injected error", p.name)
+	}
+	out := make([]probecache.Verdict, len(periods))
+	for i, tau := range periods {
+		out[i] = refVerdict(tau)
+	}
+	p.answered.Add(1)
+	return out, nil
+}
+
+// noSleep is the backoff seam for chaos tests: retries run back-to-back so
+// hundreds of fault schedules finish in milliseconds.
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func mustMatch(t *testing.T, got, want []probecache.Verdict) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d verdicts, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verdict %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSweepAllHealthy pins the fan-out happy path: every period answered
+// remotely, none by the local fallback, and the folded verdicts equal the
+// reference.
+func TestSweepAllHealthy(t *testing.T) {
+	periods := grid(40)
+	workers := []Prober{
+		&faultyProber{name: "w0"},
+		&faultyProber{name: "w1"},
+		&faultyProber{name: "w2"},
+	}
+	stats := &Stats{}
+	got, err := Sweep(workers, refLocal, periods, Options{Stats: stats, Sleep: noSleep})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	mustMatch(t, got, expectedFor(periods))
+	sn := stats.Snapshot()
+	if sn.Sweeps != 1 {
+		t.Fatalf("sweeps = %d, want 1", sn.Sweeps)
+	}
+	if sn.LocalPeriods != 0 || sn.LocalShards != 0 {
+		t.Fatalf("healthy sweep fell back locally: %+v", sn)
+	}
+	var remote int64
+	for _, w := range sn.Workers {
+		remote += w.Periods
+	}
+	if remote != int64(len(periods)) {
+		t.Fatalf("workers answered %d periods, want %d", remote, len(periods))
+	}
+}
+
+// TestSweepChaosByteIdentity is the tentpole invariant: under EVERY seeded
+// fault schedule — flaky errors, permanent mid-sweep death, partitioned
+// workers, injected latency, and any mix — the folded sweep equals the
+// reference verdict-for-verdict.
+func TestSweepChaosByteIdentity(t *testing.T) {
+	periods := grid(60)
+	want := expectedFor(periods)
+	for seed := uint64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			// The seed morphs the fleet: fault kinds and intensities are
+			// drawn from it so the 40 schedules cover error-only, death,
+			// partition, latency and combined cases.
+			mk := func(i int) *faultyProber {
+				h := splitmix64(seed ^ uint64(i)*0x9e37)
+				spec := faultSpec{Seed: h}
+				if h%3 == 0 {
+					spec.ErrorOneIn = 1 + int(h>>8%4) // 1..4: from always-failing to flaky
+				}
+				if h%5 == 0 {
+					spec.DieAfter = int(h >> 16 % 3) // dies after 0..2 answered batches
+				}
+				if h%7 == 0 {
+					spec.Partitioned = true
+				}
+				if h%2 == 0 {
+					spec.DelayOneIn = 3
+					spec.Delay = time.Millisecond
+				}
+				return &faultyProber{name: fmt.Sprintf("w%d", i), spec: spec}
+			}
+			workers := []Prober{mk(0), mk(1), mk(2)}
+			stats := &Stats{}
+			cache := probecache.NewPeriods()
+			got, err := Sweep(workers, refLocal, periods, Options{
+				Stats: stats,
+				Cache: cache,
+				Seed:  seed,
+				Sleep: noSleep,
+			})
+			if err != nil {
+				t.Fatalf("Sweep: %v", err)
+			}
+			mustMatch(t, got, want)
+			// Every verdict must have landed in the shared frontier with
+			// its exact value, wherever it was computed.
+			for i, tau := range periods {
+				v, ok := cache.Lookup(tau)
+				if !ok || v != want[i] {
+					t.Fatalf("cache.Lookup(%s) = %+v, %v; want %+v", tau, v, ok, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSweepAllDead pins graceful degradation: when every worker is
+// unreachable, the local tier computes the whole grid and the result is
+// still exact.
+func TestSweepAllDead(t *testing.T) {
+	periods := grid(30)
+	workers := []Prober{
+		&faultyProber{name: "w0", spec: faultSpec{Partitioned: true}},
+		&faultyProber{name: "w1", spec: faultSpec{Partitioned: true}},
+	}
+	stats := &Stats{}
+	got, err := Sweep(workers, refLocal, periods, Options{Stats: stats, Sleep: noSleep})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	mustMatch(t, got, expectedFor(periods))
+	sn := stats.Snapshot()
+	if sn.LocalPeriods != int64(len(periods)) {
+		t.Fatalf("local fallback computed %d periods, want all %d\n%s", sn.LocalPeriods, len(periods), sn)
+	}
+	var demotions int64
+	for _, w := range sn.Workers {
+		demotions += w.Demotions
+	}
+	if demotions != int64(len(workers)) {
+		t.Fatalf("demotions = %d, want every worker (%d) demoted", demotions, len(workers))
+	}
+}
+
+// TestSweepWorkerLossPrefix is the worker-loss mid-shard property test:
+// for EVERY prefix k of completed shards, a fleet that answers exactly k
+// batches each and then dies yields the same verdict slice as the
+// uninterrupted run — the coordinator finishes the rest locally.
+func TestSweepWorkerLossPrefix(t *testing.T) {
+	periods := grid(48)
+	want := expectedFor(periods)
+	// 3 workers x 4 shards each = 12 shards; k sweeps past the total so
+	// the all-shards-complete edge is covered too.
+	for k := 0; k <= 14; k++ {
+		k := k
+		t.Run(fmt.Sprintf("prefix=%d", k), func(t *testing.T) {
+			t.Parallel()
+			// DieAfter: 0 means "never" — the zero-length prefix is a fleet
+			// that was dead before the first batch, i.e. partitioned.
+			spec := faultSpec{DieAfter: k}
+			if k == 0 {
+				spec = faultSpec{Partitioned: true}
+			}
+			workers := []Prober{
+				&faultyProber{name: "w0", spec: spec},
+				&faultyProber{name: "w1", spec: spec},
+				&faultyProber{name: "w2", spec: spec},
+			}
+			stats := &Stats{}
+			got, err := Sweep(workers, refLocal, periods, Options{Stats: stats, Sleep: noSleep})
+			if err != nil {
+				t.Fatalf("Sweep: %v", err)
+			}
+			mustMatch(t, got, want)
+			if k == 0 {
+				if sn := stats.Snapshot(); sn.LocalPeriods != int64(len(periods)) {
+					t.Fatalf("k=0 should finish entirely locally, got %+v", sn)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepCacheSkip pins the shared-frontier fold: periods the cache
+// already answers exactly are never probed again, and the skip is counted.
+func TestSweepCacheSkip(t *testing.T) {
+	periods := grid(40)
+	want := expectedFor(periods)
+	cache := probecache.NewPeriods()
+	for i := 0; i < len(periods); i += 2 {
+		cache.Insert(periods[i], want[i])
+	}
+	w := &faultyProber{name: "w0"}
+	stats := &Stats{}
+	got, err := Sweep([]Prober{w}, refLocal, periods, Options{Cache: cache, Stats: stats, Sleep: noSleep})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	mustMatch(t, got, want)
+	sn := stats.Snapshot()
+	if sn.SkippedPeriods != int64(len(periods)/2) {
+		t.Fatalf("skipped %d periods, want %d", sn.SkippedPeriods, len(periods)/2)
+	}
+	var remote int64
+	for _, ws := range sn.Workers {
+		remote += ws.Periods
+	}
+	if remote != int64(len(periods)/2) {
+		t.Fatalf("worker answered %d periods, want %d", remote, len(periods)/2)
+	}
+}
+
+// TestSweepBudgetAbort pins the typed abort paths: a cancelled context and
+// an exhausted deadline end the sweep with the budget error, not a fold.
+func TestSweepBudgetAbort(t *testing.T) {
+	periods := grid(10)
+	w := &faultyProber{name: "w0"}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Sweep([]Prober{w}, refLocal, periods, Options{Context: ctx, Sleep: noSleep})
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("cancelled sweep: err = %v, want ErrCanceled", err)
+	}
+
+	_, err = Sweep([]Prober{w}, refLocal, periods, Options{Deadline: time.Now().Add(-time.Second), Sleep: noSleep})
+	if !errors.Is(err, budget.ErrBudgetExceeded) {
+		t.Fatalf("expired sweep: err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestSweepArgErrors pins the contract errors.
+func TestSweepArgErrors(t *testing.T) {
+	w := &faultyProber{name: "w0"}
+	if _, err := Sweep([]Prober{w}, refLocal, nil, Options{}); err == nil {
+		t.Fatal("empty grid: want error")
+	}
+	if _, err := Sweep(nil, refLocal, grid(4), Options{}); err == nil {
+		t.Fatal("no workers: want error")
+	}
+	if _, err := Sweep([]Prober{w}, nil, grid(4), Options{}); err == nil {
+		t.Fatal("nil local prober: want error")
+	}
+}
+
+// TestSweepLocalProberError pins that a local-tier failure surfaces: the
+// fallback is the correctness backstop, so its errors must not be eaten.
+func TestSweepLocalProberError(t *testing.T) {
+	boom := errors.New("boom")
+	bad := func(context.Context, ratio.Rat) (probecache.Verdict, error) {
+		return probecache.Verdict{}, boom
+	}
+	w := &faultyProber{name: "w0", spec: faultSpec{Partitioned: true}}
+	if _, err := Sweep([]Prober{w}, bad, grid(4), Options{Sleep: noSleep}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the local prober's error", err)
+	}
+}
+
+// TestBackoffJitterBounds pins the [0.5d, 1.5d) jitter window and the
+// exponential cap, mirroring the cachestore.Resilient contract.
+func TestBackoffJitterBounds(t *testing.T) {
+	c := &coordinator{}
+	opt := Options{Backoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond, Seed: 7}.withDefaults()
+	for att := 0; att < 6; att++ {
+		base := 100 * time.Millisecond << uint(att)
+		if base > opt.MaxBackoff {
+			base = opt.MaxBackoff
+		}
+		for i := 0; i < 32; i++ {
+			d := c.backoffFor(att, opt)
+			if d < base/2 || d >= base+base/2 {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", att, d, base/2, base+base/2)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"vrdfcap/internal/budget"
+	"vrdfcap/internal/probecache"
+	"vrdfcap/internal/ratio"
+)
+
+// ProbePath is the URL path of the batch period-probe endpoint the
+// coordinator drives, served by internal/serve on every vrdfserve worker.
+const ProbePath = "/v1/probe"
+
+// maxProbeResponse caps what the client reads back for one verdict batch —
+// a runaway guard against a misbehaving worker, far above any real batch.
+const maxProbeResponse = 8 << 20
+
+// Prober answers one batch of period-feasibility probes for the fixed
+// (graph, constrained task, policy) triple it was built for. The returned
+// slice is index-aligned with the request: verdicts[i] answers periods[i].
+//
+// A Prober makes no resilience promise — the coordinator (Sweep) owns
+// deadlines, retries, circuit breaking and reassignment; the prober simply
+// answers or errors. Implementations must be safe for concurrent use and
+// must honour the Context.
+type Prober interface {
+	Probe(ctx context.Context, periods []ratio.Rat) ([]probecache.Verdict, error)
+	// String names the worker for stats lines, e.g. "http://host:8080".
+	String() string
+}
+
+// LocalProber answers one period probe on the coordinator's own machine —
+// the graceful-degradation tier Sweep falls back to when a shard exhausts
+// its remote options or every worker is demoted. It must be the same pure
+// function of the period the workers compute, so a sweep's result does not
+// depend on where each probe ran.
+type LocalProber func(ctx context.Context, period ratio.Rat) (probecache.Verdict, error)
+
+// HTTPProber drives the /v1/probe batch endpoint of one remote vrdfserve
+// worker: POST the graph document with the policy and a comma-joined
+// period batch in the query, and decode the verdict batch. The worker
+// computes (or answers from its own caches) every period in the batch;
+// coalescing on the worker collapses identical in-flight batches fleet-wide.
+type HTTPProber struct {
+	base   string
+	policy string
+	doc    []byte
+	client *http.Client
+}
+
+// NewHTTPProber returns a prober for the worker at baseURL (scheme + host,
+// e.g. "http://worker1:8080"; any path or trailing slash is stripped). The
+// document must carry the sweep's graph and throughput constraint; the
+// policy names the capacity policy every probe applies.
+func NewHTTPProber(baseURL, policy string, doc []byte) (*HTTPProber, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: bad worker URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("dispatch: worker URL %q must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("dispatch: worker URL %q has no host", baseURL)
+	}
+	return &HTTPProber{
+		base:   u.Scheme + "://" + u.Host,
+		policy: policy,
+		doc:    doc,
+		// No client-level timeout: per-shard deadlines come from the
+		// Context (the coordinator applies Options.ShardTimeout there), so
+		// one knob governs every worker.
+		client: &http.Client{},
+	}, nil
+}
+
+func (p *HTTPProber) String() string { return p.base }
+
+// probeVerdict is the wire form of one verdict in a /v1/probe response.
+type probeVerdict struct {
+	Period string `json:"period"`
+	Valid  bool   `json:"valid"`
+	Total  int64  `json:"total"`
+}
+
+// probeResponse is the JSON shape of a /v1/probe exchange.
+type probeResponse struct {
+	Task     string         `json:"task"`
+	Policy   string         `json:"policy"`
+	Verdicts []probeVerdict `json:"verdicts"`
+}
+
+// Probe implements Prober. The response is validated against the request
+// — the worker must echo exactly the requested periods, in order — so a
+// confused or truncated answer is an error the coordinator retries or
+// reassigns, never a silently wrong fold.
+func (p *HTTPProber) Probe(ctx context.Context, periods []ratio.Rat) ([]probecache.Verdict, error) {
+	canon := make([]string, len(periods))
+	for i, tau := range periods {
+		canon[i] = tau.String()
+	}
+	q := url.Values{}
+	q.Set("policy", p.policy)
+	q.Set("periods", strings.Join(canon, ","))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		p.base+ProbePath+"?"+q.Encode(), bytes.NewReader(p.doc))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		// The transport wraps context errors; classify so cancellation
+		// keeps its typed identity through the prober.
+		return nil, budget.Classify(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		msg := strings.TrimSpace(string(data))
+		if msg == "" {
+			msg = resp.Status
+		}
+		return nil, fmt.Errorf("dispatch: worker %s answered %d: %s", p.base, resp.StatusCode, msg)
+	}
+	var pr probeResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxProbeResponse)).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("dispatch: worker %s: bad probe response: %w", p.base, budget.Classify(err))
+	}
+	if len(pr.Verdicts) != len(periods) {
+		return nil, fmt.Errorf("dispatch: worker %s answered %d verdicts for %d periods", p.base, len(pr.Verdicts), len(periods))
+	}
+	out := make([]probecache.Verdict, len(periods))
+	for i, v := range pr.Verdicts {
+		if v.Period != canon[i] {
+			return nil, fmt.Errorf("dispatch: worker %s answered period %s where %s was asked", p.base, v.Period, canon[i])
+		}
+		out[i] = probecache.Verdict{Valid: v.Valid, Total: v.Total}
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vrdfcap/internal/budget"
+	"vrdfcap/internal/ratio"
+)
+
+// probeHandler answers the /v1/probe wire protocol with refVerdict,
+// after the mutate hook has had a chance to corrupt the response.
+func probeHandler(t *testing.T, mutate func(*probeResponse)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != ProbePath {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+			http.Error(w, "bad route", http.StatusNotFound)
+			return
+		}
+		if body, _ := io.ReadAll(r.Body); len(body) == 0 {
+			t.Error("probe request carried no graph document")
+		}
+		resp := probeResponse{Task: "b", Policy: r.URL.Query().Get("policy")}
+		for _, part := range strings.Split(r.URL.Query().Get("periods"), ",") {
+			tau, err := ratio.Parse(part)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			v := refVerdict(tau)
+			resp.Verdicts = append(resp.Verdicts, probeVerdict{
+				Period: tau.String(), Valid: v.Valid, Total: v.Total,
+			})
+		}
+		if mutate != nil {
+			mutate(&resp)
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
+func TestHTTPProberRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(probeHandler(t, nil))
+	defer ts.Close()
+	p, err := NewHTTPProber(ts.URL, "equation4", []byte("doc"))
+	if err != nil {
+		t.Fatalf("NewHTTPProber: %v", err)
+	}
+	periods := grid(8)
+	got, err := p.Probe(context.Background(), periods)
+	if err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	mustMatch(t, got, expectedFor(periods))
+}
+
+// TestHTTPProberRejectsConfusedAnswers pins the validation that keeps a
+// misbehaving worker from silently corrupting a fold: wrong period echo,
+// wrong verdict count and non-200 statuses are all errors.
+func TestHTTPProberRejectsConfusedAnswers(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*probeResponse)
+		want   string
+	}{
+		{"wrong period", func(r *probeResponse) { r.Verdicts[0].Period = "99/7" }, "where"},
+		{"short batch", func(r *probeResponse) { r.Verdicts = r.Verdicts[:1] }, "verdicts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(probeHandler(t, tc.mutate))
+			defer ts.Close()
+			p, err := NewHTTPProber(ts.URL, "equation4", []byte("doc"))
+			if err != nil {
+				t.Fatalf("NewHTTPProber: %v", err)
+			}
+			_, err = p.Probe(context.Background(), grid(4))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("non-200", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		}))
+		defer ts.Close()
+		p, err := NewHTTPProber(ts.URL, "equation4", []byte("doc"))
+		if err != nil {
+			t.Fatalf("NewHTTPProber: %v", err)
+		}
+		_, err = p.Probe(context.Background(), grid(4))
+		if err == nil || !strings.Contains(err.Error(), "503") {
+			t.Fatalf("err = %v, want the 503 surfaced", err)
+		}
+	})
+}
+
+// TestHTTPProberCancellation pins the typed budget identity through the
+// transport: a cancelled context is ErrCanceled, not a generic net error.
+func TestHTTPProberCancellation(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	p, err := NewHTTPProber(ts.URL, "equation4", []byte("doc"))
+	if err != nil {
+		t.Fatalf("NewHTTPProber: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	if _, err := p.Probe(ctx, grid(2)); !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestNewHTTPProberValidation(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "ftp://host", "http://"} {
+		if _, err := NewHTTPProber(bad, "equation4", nil); err == nil {
+			t.Errorf("NewHTTPProber(%q): want error", bad)
+		}
+	}
+	p, err := NewHTTPProber("http://worker:8080/some/path/", "equation4", nil)
+	if err != nil {
+		t.Fatalf("NewHTTPProber: %v", err)
+	}
+	if p.String() != "http://worker:8080" {
+		t.Fatalf("base = %q, want the path stripped", p.String())
+	}
+}

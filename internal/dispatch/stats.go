@@ -1,0 +1,207 @@
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Stats accumulates coordinator effort counters across one or more sweeps:
+// per-worker shard, period, retry, steal and failure counts, plus the
+// coordinator-side fallback and skip totals. A long-lived coordinator (a
+// vrdfserve fanning out its /v1/sweep requests) keeps one Stats for its
+// lifetime and surfaces it on /statsz; a CLI keeps one per invocation for
+// -stats.
+//
+// Safe for concurrent use.
+type Stats struct {
+	mu      sync.Mutex
+	workers map[string]*workerCounters
+	// coordinator-level counters
+	sweeps       int64
+	localShards  int64
+	localPeriods int64
+	skipped      int64
+	reassigned   int64
+}
+
+// workerCounters is the mutable per-worker cell behind the snapshot.
+type workerCounters struct {
+	shards    int64
+	periods   int64
+	retries   int64
+	steals    int64
+	failures  int64
+	demotions int64
+}
+
+// WorkerSnapshot is the immutable per-worker view of one Stats snapshot.
+type WorkerSnapshot struct {
+	// Worker is the prober's String() — for HTTP workers, the base URL.
+	Worker string `json:"worker"`
+	// Shards counts shard batches this worker answered successfully.
+	Shards int64 `json:"shards"`
+	// Periods counts the period probes inside those shards.
+	Periods int64 `json:"periods"`
+	// Retries counts backoff-delayed re-attempts against this worker.
+	Retries int64 `json:"retries"`
+	// Steals counts shards this worker stole from another queue.
+	Steals int64 `json:"steals"`
+	// Failures counts shards that exhausted their retries here.
+	Failures int64 `json:"failures"`
+	// Demotions counts sweeps that demoted this worker (circuit opened).
+	Demotions int64 `json:"demotions"`
+}
+
+// Snapshot is the JSON-encodable view of a Stats.
+type Snapshot struct {
+	// Sweeps counts coordinated sweeps folded into this Stats.
+	Sweeps int64 `json:"sweeps"`
+	// Workers is sorted by worker name so encodings are deterministic.
+	Workers []WorkerSnapshot `json:"workers,omitempty"`
+	// LocalShards and LocalPeriods count work finished by the
+	// coordinator itself after remote attempts were exhausted (graceful
+	// degradation), including the everything-demoted case.
+	LocalShards  int64 `json:"localShards"`
+	LocalPeriods int64 `json:"localPeriods"`
+	// SkippedPeriods counts probes answered by an exact verdict already
+	// in the shared period frontier — work cancelled everywhere by an
+	// earlier return.
+	SkippedPeriods int64 `json:"skippedPeriods"`
+	// ReassignedShards counts shards re-queued to another worker after
+	// failing on their current one.
+	ReassignedShards int64 `json:"reassignedShards"`
+}
+
+func (s *Stats) worker(name string) *workerCounters {
+	if s.workers == nil {
+		s.workers = make(map[string]*workerCounters)
+	}
+	w := s.workers[name]
+	if w == nil {
+		w = &workerCounters{}
+		s.workers[name] = w
+	}
+	return w
+}
+
+func (s *Stats) addSweep() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sweeps++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addShard(name string, periods int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	w := s.worker(name)
+	w.shards++
+	w.periods += int64(periods)
+	s.mu.Unlock()
+}
+
+func (s *Stats) addRetry(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.worker(name).retries++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addSteal(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.worker(name).steals++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addFailure(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.worker(name).failures++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addDemotion(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.worker(name).demotions++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addLocal(shards, periods int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.localShards += shards
+	s.localPeriods += periods
+	s.mu.Unlock()
+}
+
+func (s *Stats) addSkipped(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.skipped += n
+	s.mu.Unlock()
+}
+
+func (s *Stats) addReassigned() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reassigned++
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters with workers sorted by name.
+// Safe on a nil Stats (returns the zero Snapshot).
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Snapshot{
+		Sweeps:           s.sweeps,
+		LocalShards:      s.localShards,
+		LocalPeriods:     s.localPeriods,
+		SkippedPeriods:   s.skipped,
+		ReassignedShards: s.reassigned,
+	}
+	for name, w := range s.workers {
+		out.Workers = append(out.Workers, WorkerSnapshot{
+			Worker: name, Shards: w.shards, Periods: w.periods,
+			Retries: w.retries, Steals: w.steals,
+			Failures: w.failures, Demotions: w.demotions,
+		})
+	}
+	sort.Slice(out.Workers, func(i, j int) bool { return out.Workers[i].Worker < out.Workers[j].Worker })
+	return out
+}
+
+// String renders the snapshot as the multi-line block CLI -stats prints.
+func (sn Snapshot) String() string {
+	out := fmt.Sprintf("distributed: %d sweep(s), %d period(s) skipped via shared verdicts, %d shard(s) reassigned, local fallback %d shard(s) / %d period(s)",
+		sn.Sweeps, sn.SkippedPeriods, sn.ReassignedShards, sn.LocalShards, sn.LocalPeriods)
+	for _, w := range sn.Workers {
+		out += fmt.Sprintf("\n  worker %s: %d shard(s) (%d periods), %d retries, %d steals, %d failures, %d demotions",
+			w.Worker, w.Shards, w.Periods, w.Retries, w.Steals, w.Failures, w.Demotions)
+	}
+	return out
+}

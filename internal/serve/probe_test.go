@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vrdfcap/internal/dispatch"
+)
+
+// TestProbeEndpoint pins the /v1/probe wire contract the dispatch
+// coordinator depends on: verdicts echo the requested periods in request
+// order, and the same periods answered by /v1/sweep carry the same
+// validity/total values — the server-side half of the byte-identity
+// invariant.
+func TestProbeEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	status, body := post(t, ts, dispatch.ProbePath+"?periods=2,5/2,3,7/2", pairDoc)
+	if status != http.StatusOK {
+		t.Fatalf("probe status = %d, body %s", status, body)
+	}
+	var pr struct {
+		Task     string `json:"task"`
+		Policy   string `json:"policy"`
+		Verdicts []struct {
+			Period string `json:"period"`
+			Valid  bool   `json:"valid"`
+			Total  int64  `json:"total"`
+		} `json:"verdicts"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("decode probe response: %v", err)
+	}
+	if pr.Task != "b" || pr.Policy != "equation4" {
+		t.Fatalf("probe answered task=%q policy=%q", pr.Task, pr.Policy)
+	}
+	wantPeriods := []string{"2", "5/2", "3", "7/2"}
+	if len(pr.Verdicts) != len(wantPeriods) {
+		t.Fatalf("got %d verdicts, want %d", len(pr.Verdicts), len(wantPeriods))
+	}
+	for i, v := range pr.Verdicts {
+		if v.Period != wantPeriods[i] {
+			t.Fatalf("verdict %d echoes period %q, want %q", i, v.Period, wantPeriods[i])
+		}
+	}
+
+	// Cross-endpoint identity: /v1/sweep over the same periods must agree
+	// verdict-for-verdict.
+	status, body = post(t, ts, "/v1/sweep?periods=2,5/2,3,7/2", pairDoc)
+	if status != http.StatusOK {
+		t.Fatalf("sweep status = %d, body %s", status, body)
+	}
+	var sr struct {
+		Points []struct {
+			Period string `json:"period"`
+			Valid  bool   `json:"valid"`
+			Total  int64  `json:"total"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode sweep response: %v", err)
+	}
+	if len(sr.Points) != len(pr.Verdicts) {
+		t.Fatalf("sweep answered %d points, probe %d", len(sr.Points), len(pr.Verdicts))
+	}
+	for i := range sr.Points {
+		p, v := sr.Points[i], pr.Verdicts[i]
+		if p.Period != v.Period || p.Valid != v.Valid || p.Total != v.Total {
+			t.Fatalf("point %d: sweep %+v != probe %+v", i, p, v)
+		}
+	}
+
+	// Effort shows up on /statsz.
+	st := s.StatsSnapshot()
+	if st.ProbeBatches < 1 || st.ProbePeriods < 4 {
+		t.Fatalf("probe counters = %d batches / %d periods, want ≥ 1 / ≥ 4", st.ProbeBatches, st.ProbePeriods)
+	}
+}
+
+// TestProbeEndpointParamErrors pins the 400 mapping for bad probe input.
+func TestProbeEndpointParamErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for _, q := range []string{"", "?periods=0", "?periods=nope", "?periods=1&policy=bogus"} {
+		if status, body := post(t, ts, dispatch.ProbePath+q, pairDoc); status != http.StatusBadRequest {
+			t.Errorf("probe%s: status = %d (body %s), want 400", q, status, body)
+		}
+	}
+}
+
+// TestProbeNeverFansOut pins the no-recursion guarantee: a coordinator
+// whose /v1/probe is asked while SweepWorkers points at itself must
+// compute locally rather than dispatch (a fleet listing each other would
+// otherwise loop).
+func TestProbeNeverFansOut(t *testing.T) {
+	s := newTestServer(t, Config{SweepWorkers: []string{"http://127.0.0.1:0"}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	status, body := post(t, ts, dispatch.ProbePath+"?periods=3", pairDoc)
+	if status != http.StatusOK {
+		t.Fatalf("probe on a coordinator: status = %d, body %s", status, body)
+	}
+	// The sweep path DOES dispatch (to a dead worker here) and must still
+	// answer exactly via the local fallback.
+	status, body = post(t, ts, "/v1/sweep?periods=3", pairDoc)
+	if status != http.StatusOK {
+		t.Fatalf("sweep on a coordinator with dead workers: status = %d, body %s", status, body)
+	}
+	if st := s.StatsSnapshot(); st.Dispatch == nil || st.Dispatch.Sweeps != 1 {
+		t.Fatalf("coordinator stats missing dispatch snapshot: %+v", st.Dispatch)
+	}
+}
